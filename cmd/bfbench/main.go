@@ -1,0 +1,167 @@
+// Command bfbench regenerates the tables and figures of the BabelFish
+// paper's evaluation (Section VII) on the simulator.
+//
+// Usage:
+//
+//	bfbench [-exp all|tableI|fig9|fig10a|fig10b|fig11|tableII|tableIII|largertlb|bringup|resources]
+//	        [-cores N] [-scale F] [-warm N] [-measure N] [-seed N] [-quick]
+//
+// Each experiment prints rows shaped like the paper's; the headers quote
+// the paper's numbers for comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"babelfish/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id (all, tableI, fig9, fig10a, fig10b, fig11, tableII, tableIII, largertlb, bringup, resources, sweeps, fig7)")
+		cores   = flag.Int("cores", 0, "number of cores (0 = default 8)")
+		scale   = flag.Float64("scale", 0, "dataset scale factor (0 = default 1.0)")
+		warm    = flag.Uint64("warm", 0, "warm-up instructions per core (0 = default)")
+		measure = flag.Uint64("measure", 0, "measured instructions per core (0 = default)")
+		seed    = flag.Uint64("seed", 0, "random seed (0 = default)")
+		quick   = flag.Bool("quick", false, "use the reduced smoke-test options")
+		format  = flag.String("format", "text", "output format: text, json or markdown (json/markdown run all experiments)")
+	)
+	flag.Parse()
+
+	o := experiments.Default()
+	if *quick {
+		o = experiments.Quick()
+	}
+	if *cores > 0 {
+		o.Cores = *cores
+	}
+	if *scale > 0 {
+		o.Scale = *scale
+	}
+	if *warm > 0 {
+		o.WarmInstr = *warm
+	}
+	if *measure > 0 {
+		o.MeasureInstr = *measure
+	}
+	if *seed > 0 {
+		o.Seed = *seed
+	}
+
+	if *format == "json" || *format == "markdown" {
+		rep, err := experiments.RunAll(o)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bfbench:", err)
+			os.Exit(1)
+		}
+		if *format == "json" {
+			err = rep.WriteJSON(os.Stdout)
+		} else {
+			err = rep.WriteMarkdown(os.Stdout)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bfbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(strings.ToLower(*exp), o); err != nil {
+		fmt.Fprintln(os.Stderr, "bfbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, o experiments.Options) error {
+	want := func(name string) bool { return exp == "all" || exp == name }
+
+	if want("tablei") || want("tableI") {
+		fmt.Println(experiments.TableI(o))
+	}
+	if want("fig7") {
+		r, err := experiments.Fig7()
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
+	}
+	if want("fig9") {
+		r, err := experiments.Fig9(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
+	}
+	if want("fig10a") || want("fig10b") || (exp == "all") || exp == "fig10" {
+		if exp == "all" || strings.HasPrefix(exp, "fig10") {
+			r, err := experiments.Fig10(o)
+			if err != nil {
+				return err
+			}
+			fmt.Println(r)
+		}
+	}
+	if want("fig11") || want("tableii") {
+		r, err := experiments.Fig11(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
+		fmt.Println(experiments.TableII(r))
+	}
+	if want("tableiii") {
+		fmt.Println(experiments.TableIII())
+	}
+	if want("largertlb") {
+		r, err := experiments.LargerTLB(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
+	}
+	if want("bringup") {
+		r, err := experiments.Bringup(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
+	}
+	if want("resources") {
+		r, err := experiments.Resources(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
+	}
+	if want("sweeps") {
+		r1, err := experiments.SweepColocation(o, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r1)
+		r2, err := experiments.SweepGroupSize(o, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r2)
+		r3, err := experiments.Variants(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r3)
+		r4, err := experiments.SweepSMT(o)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r4)
+		r5, err := experiments.Churn(o, 4)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r5)
+	}
+	return nil
+}

@@ -1,0 +1,44 @@
+// Command bfchar performs the Figure-9-style pte_t shareability
+// characterization: it runs the paper's container setups to steady state
+// and scans the page tables of each CCID group, classifying present leaf
+// entries as shareable, unshareable, or THP, and reporting how many
+// active entries BabelFish would fuse away.
+//
+// Usage:
+//
+//	bfchar [-scale F] [-measure N] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"babelfish/internal/experiments"
+)
+
+func main() {
+	var (
+		scale   = flag.Float64("scale", 0, "dataset scale factor (0 = default)")
+		measure = flag.Uint64("measure", 0, "census epoch instructions per core (0 = default)")
+		seed    = flag.Uint64("seed", 0, "random seed (0 = default)")
+	)
+	flag.Parse()
+
+	o := experiments.Default()
+	if *scale > 0 {
+		o.Scale = *scale
+	}
+	if *measure > 0 {
+		o.MeasureInstr = *measure
+	}
+	if *seed > 0 {
+		o.Seed = *seed
+	}
+	r, err := experiments.Fig9(o)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bfchar:", err)
+		os.Exit(1)
+	}
+	fmt.Println(r)
+}

@@ -1,0 +1,106 @@
+// Command bfsim runs one containerized workload on the simulator and
+// prints a detailed report: request latency, L2 TLB behaviour, page-walk
+// destinations, fault counts and kernel statistics — for one architecture
+// or side-by-side for baseline and BabelFish.
+//
+// Usage:
+//
+//	bfsim [-app mongodb|arangodb|httpd|graphchi|fio] [-arch baseline|babelfish|both]
+//	      [-cores N] [-containers N] [-scale F] [-warm N] [-measure N] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"babelfish"
+	"babelfish/internal/metrics"
+)
+
+func main() {
+	var (
+		app        = flag.String("app", "mongodb", "workload: mongodb, arangodb, httpd, graphchi, fio")
+		arch       = flag.String("arch", "both", "architecture: baseline, babelfish, both")
+		cores      = flag.Int("cores", 2, "number of cores")
+		containers = flag.Int("containers", 2, "containers per core")
+		scale      = flag.Float64("scale", 0.5, "dataset scale factor")
+		warm       = flag.Uint64("warm", 500_000, "warm-up instructions per core")
+		measure    = flag.Uint64("measure", 1_000_000, "measured instructions per core")
+		seed       = flag.Uint64("seed", 42, "random seed")
+		traceN     = flag.Int("trace", 0, "dump the last N translation events of each run")
+	)
+	flag.Parse()
+
+	apps := map[string]babelfish.App{
+		"mongodb": babelfish.MongoDB, "arangodb": babelfish.ArangoDB,
+		"httpd": babelfish.HTTPd, "graphchi": babelfish.GraphChi, "fio": babelfish.FIO,
+	}
+	a, ok := apps[*app]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "bfsim: unknown app %q\n", *app)
+		os.Exit(1)
+	}
+
+	var archs []babelfish.Arch
+	switch *arch {
+	case "baseline":
+		archs = []babelfish.Arch{babelfish.ArchBaseline}
+	case "babelfish":
+		archs = []babelfish.Arch{babelfish.ArchBabelFish}
+	case "both":
+		archs = []babelfish.Arch{babelfish.ArchBaseline, babelfish.ArchBabelFish}
+	default:
+		fmt.Fprintf(os.Stderr, "bfsim: unknown arch %q\n", *arch)
+		os.Exit(1)
+	}
+
+	t := metrics.NewTable(fmt.Sprintf("%s: %d cores x %d containers, scale %.2f", *app, *cores, *containers, *scale),
+		"arch", "meanLat", "p95Lat", "mpkiD", "mpkiI", "sharedD", "sharedI", "faults", "minor", "cow")
+	for _, ar := range archs {
+		name := "baseline"
+		if ar == babelfish.ArchBabelFish {
+			name = "babelfish"
+		}
+		m := babelfish.NewMachine(babelfish.Options{Arch: ar, Cores: *cores})
+		if *traceN > 0 {
+			m.EnableTracing(*traceN)
+		}
+		d, err := babelfish.DeployApp(m, a, *scale, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bfsim:", err)
+			os.Exit(1)
+		}
+		for c := 0; c < *cores; c++ {
+			for j := 0; j < *containers; j++ {
+				if _, _, err := d.Spawn(c, *seed+uint64(c*131+j)); err != nil {
+					fmt.Fprintln(os.Stderr, "bfsim:", err)
+					os.Exit(1)
+				}
+			}
+		}
+		if err := d.PrefaultAll(); err != nil {
+			fmt.Fprintln(os.Stderr, "bfsim:", err)
+			os.Exit(1)
+		}
+		if err := m.Run(*warm); err != nil {
+			fmt.Fprintln(os.Stderr, "bfsim:", err)
+			os.Exit(1)
+		}
+		m.ResetStats()
+		if err := m.Run(*measure); err != nil {
+			fmt.Fprintln(os.Stderr, "bfsim:", err)
+			os.Exit(1)
+		}
+		ag := m.Aggregate()
+		ks := m.Kernel.Stats()
+		t.Row(name, d.MeanLatency(), d.TailLatency(95), ag.MPKIData(), ag.MPKIInstr(),
+			ag.SharedHitFracD(), ag.SharedHitFracI(), ag.Faults, ks.MinorFaults, ks.CoWFaults)
+		if m.Tracer != nil {
+			fmt.Printf("--- %s: last %d translation events ---\n", name, *traceN)
+			m.Tracer.Dump(os.Stdout, *traceN)
+			fmt.Print(m.Tracer.Summarize())
+		}
+	}
+	fmt.Println(t)
+}

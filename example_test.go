@@ -1,0 +1,86 @@
+package babelfish_test
+
+import (
+	"fmt"
+
+	"babelfish"
+)
+
+// The canonical flow: build a machine, deploy an application, co-locate
+// two containers, run, and read the metrics.
+func Example() {
+	m := babelfish.NewMachine(babelfish.Options{
+		Arch:  babelfish.ArchBabelFish,
+		Cores: 1,
+		Mem:   512 << 20,
+	})
+	d, err := babelfish.DeployApp(m, babelfish.HTTPd, 0.2, 42)
+	if err != nil {
+		panic(err)
+	}
+	for j := 0; j < 2; j++ {
+		if _, _, err := d.Spawn(0, uint64(j)); err != nil {
+			panic(err)
+		}
+	}
+	if err := d.PrefaultAll(); err != nil {
+		panic(err)
+	}
+	if err := m.Run(100_000); err != nil {
+		panic(err)
+	}
+	ag := m.Aggregate()
+	fmt.Println("containers:", len(d.Containers))
+	fmt.Println("ran instructions:", ag.Instrs > 0)
+	fmt.Println("recorded latencies:", d.MeanLatency() > 0)
+	// Output:
+	// containers: 2
+	// ran instructions: true
+	// recorded latencies: true
+}
+
+// Serverless deployment: three functions share one runtime image.
+func ExampleDeployServerless() {
+	m := babelfish.NewMachine(babelfish.Options{Arch: babelfish.ArchBabelFish, Cores: 1, Mem: 512 << 20})
+	fg, err := babelfish.DeployServerless(m, false, 0.2, 7)
+	if err != nil {
+		panic(err)
+	}
+	for _, name := range fg.FunctionNames() {
+		if _, _, err := fg.Spawn(name, 0, 1); err != nil {
+			panic(err)
+		}
+	}
+	if err := m.RunToCompletion(); err != nil {
+		panic(err)
+	}
+	done := 0
+	for _, task := range fg.Tasks {
+		if task.Done {
+			done++
+		}
+	}
+	fmt.Println("functions completed:", done)
+	// Output:
+	// functions completed: 3
+}
+
+// The container engine models `docker start`: engine overhead + fork +
+// bring-up page touching.
+func ExampleNewEngine() {
+	m := babelfish.NewMachine(babelfish.Options{Arch: babelfish.ArchBabelFish, Cores: 1, Mem: 512 << 20})
+	d, err := babelfish.DeployApp(m, babelfish.FIO, 0.2, 5)
+	if err != nil {
+		panic(err)
+	}
+	e := babelfish.NewEngine(m)
+	c, err := e.Start(d, 0, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("state:", c.State)
+	fmt.Println("bring-up includes page touching:", c.BringUpCycles > 0)
+	// Output:
+	// state: running
+	// bring-up includes page touching: true
+}

@@ -1,0 +1,77 @@
+// Data-serving example: a YCSB-style latency study. Runs MongoDB,
+// ArangoDB and HTTPd with two containers per core on both architectures
+// and prints a latency table with mean, median, p95 and p99, plus the
+// translation-level breakdown — the scenario behind the paper's Figure 11
+// data-serving bars.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"babelfish"
+	"babelfish/internal/metrics"
+)
+
+func main() {
+	const (
+		cores      = 2
+		containers = 2
+		scale      = 0.5
+		warmInstr  = 400_000
+		measInstr  = 800_000
+	)
+
+	apps := []babelfish.App{babelfish.MongoDB, babelfish.ArangoDB, babelfish.HTTPd}
+	t := metrics.NewTable("Data serving: request latency (cycles) under co-location",
+		"app", "arch", "mean", "p50", "p95", "p99", "faults/1k-req")
+
+	for _, app := range apps {
+		var base float64
+		for _, arch := range []babelfish.Arch{babelfish.ArchBaseline, babelfish.ArchBabelFish} {
+			name := "baseline"
+			if arch == babelfish.ArchBabelFish {
+				name = "babelfish"
+			}
+			m := babelfish.NewMachine(babelfish.Options{Arch: arch, Cores: cores})
+			d, err := babelfish.DeployApp(m, app, scale, 7)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for c := 0; c < cores; c++ {
+				for j := 0; j < containers; j++ {
+					if _, _, err := d.Spawn(c, uint64(c*31+j)); err != nil {
+						log.Fatal(err)
+					}
+				}
+			}
+			if err := d.PrefaultAll(); err != nil {
+				log.Fatal(err)
+			}
+			if err := m.Run(warmInstr); err != nil {
+				log.Fatal(err)
+			}
+			m.ResetStats()
+			if err := m.Run(measInstr); err != nil {
+				log.Fatal(err)
+			}
+			ag := m.Aggregate()
+			nreq := 0
+			for _, task := range d.Tasks {
+				nreq += task.Lat.Count()
+			}
+			faultsPerKReq := 0.0
+			if nreq > 0 {
+				faultsPerKReq = 1000 * float64(ag.Faults) / float64(nreq)
+			}
+			t.Row(app.String(), name, d.MeanLatency(), d.TailLatency(50), d.TailLatency(95), d.TailLatency(99), faultsPerKReq)
+			if arch == babelfish.ArchBaseline {
+				base = d.MeanLatency()
+			} else if base > 0 {
+				fmt.Printf("%-9s mean latency reduction: %.1f%%\n", app, 100*(base-d.MeanLatency())/base)
+			}
+		}
+	}
+	fmt.Println()
+	fmt.Println(t)
+}

@@ -1,0 +1,3 @@
+module babelfish
+
+go 1.22

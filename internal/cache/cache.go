@@ -1,0 +1,242 @@
+// Package cache models a write-back, write-allocate, set-associative cache
+// hierarchy with LRU replacement and fixed per-level access times
+// (Table I of the paper: L1 2 cycles, L2 8, L3 32). Caches are physically
+// indexed and tagged, so page-walk references to page-table frames shared
+// between containers naturally hit on lines fetched by other containers —
+// the cross-container prefetching effect BabelFish exploits.
+//
+// Only tags are modelled (no data contents); the simulator's timing and
+// sharing behaviour do not depend on data values.
+package cache
+
+import (
+	"fmt"
+
+	"babelfish/internal/memdefs"
+)
+
+// Where identifies the level that ultimately served an access.
+type Where int
+
+const (
+	WhereSelf Where = iota // hit in the cache queried (used internally)
+	WhereL1
+	WhereL2
+	WhereL3
+	WhereMem
+)
+
+func (w Where) String() string {
+	switch w {
+	case WhereL1:
+		return "L1"
+	case WhereL2:
+		return "L2"
+	case WhereL3:
+		return "L3"
+	case WhereMem:
+		return "Mem"
+	}
+	return fmt.Sprintf("Where(%d)", int(w))
+}
+
+// Backend is anything that can serve a physical memory access and report
+// the latency and the level that served it.
+type Backend interface {
+	Access(pa memdefs.PAddr, write bool) (memdefs.Cycles, Where)
+}
+
+// Config describes one cache level.
+type Config struct {
+	Name       string
+	SizeBytes  int
+	Ways       int
+	LineSize   int
+	AccessTime memdefs.Cycles
+	Level      Where // which Where this cache reports on hit
+}
+
+// Stats counts per-level events.
+type Stats struct {
+	Accesses   uint64
+	Hits       uint64
+	Misses     uint64
+	Writebacks uint64
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	lru   uint64
+}
+
+// Cache is one set-associative cache level backed by a lower level.
+type Cache struct {
+	cfg     Config
+	below   Backend
+	sets    [][]line
+	numSets int
+	lineOff uint
+	tick    uint64
+	stats   Stats
+}
+
+// New builds a cache level. Panics on a non-power-of-two geometry since
+// configurations are fixed at build time.
+func New(cfg Config, below Backend) *Cache {
+	if cfg.LineSize <= 0 || cfg.Ways <= 0 || cfg.SizeBytes <= 0 {
+		panic("cache: invalid config " + cfg.Name)
+	}
+	numLines := cfg.SizeBytes / cfg.LineSize
+	numSets := numLines / cfg.Ways
+	if numSets == 0 {
+		numSets = 1
+	}
+	if numSets&(numSets-1) != 0 {
+		panic(fmt.Sprintf("cache %s: sets %d not a power of two", cfg.Name, numSets))
+	}
+	c := &Cache{cfg: cfg, below: below, numSets: numSets}
+	c.sets = make([][]line, numSets)
+	for i := range c.sets {
+		c.sets[i] = make([]line, cfg.Ways)
+	}
+	for off := cfg.LineSize; off > 1; off >>= 1 {
+		c.lineOff++
+	}
+	return c
+}
+
+// Name returns the configured name.
+func (c *Cache) Name() string { return c.cfg.Name }
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters (used between warm-up and measurement).
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+func (c *Cache) index(pa memdefs.PAddr) (set int, tag uint64) {
+	blk := uint64(pa) >> c.lineOff
+	return int(blk) & (c.numSets - 1), blk
+}
+
+// Access performs a read or write. On a miss the line is fetched from the
+// level below (write-allocate); a dirty victim counts as a writeback but
+// adds no latency (posted writes).
+func (c *Cache) Access(pa memdefs.PAddr, write bool) (memdefs.Cycles, Where) {
+	c.stats.Accesses++
+	c.tick++
+	set, tag := c.index(pa)
+	ways := c.sets[set]
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			c.stats.Hits++
+			ways[i].lru = c.tick
+			if write {
+				ways[i].dirty = true
+			}
+			return c.cfg.AccessTime, c.cfg.Level
+		}
+	}
+	c.stats.Misses++
+	lat, where := c.below.Access(pa, false)
+	// Choose LRU victim.
+	victim := 0
+	for i := 1; i < len(ways); i++ {
+		if !ways[i].valid {
+			victim = i
+			break
+		}
+		if ways[i].lru < ways[victim].lru {
+			victim = i
+		}
+	}
+	if ways[victim].valid && ways[victim].dirty {
+		c.stats.Writebacks++
+	}
+	ways[victim] = line{tag: tag, valid: true, dirty: write, lru: c.tick}
+	return c.cfg.AccessTime + lat, where
+}
+
+// Contains reports whether pa's line is resident (no state change); used
+// by tests and diagnostics.
+func (c *Cache) Contains(pa memdefs.PAddr) bool {
+	set, tag := c.index(pa)
+	for _, w := range c.sets[set] {
+		if w.valid && w.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// InvalidateAll empties the cache (used by tests).
+func (c *Cache) InvalidateAll() {
+	for i := range c.sets {
+		for j := range c.sets[i] {
+			c.sets[i][j] = line{}
+		}
+	}
+}
+
+// Hierarchy bundles one core's private L1 (split I/D) and L2, all sharing
+// an L3 (which is shared between cores).
+type Hierarchy struct {
+	L1I *Cache
+	L1D *Cache
+	L2  *Cache
+}
+
+// HierarchyConfig holds the per-level geometry for a core.
+type HierarchyConfig struct {
+	L1I, L1D, L2 Config
+}
+
+// DefaultHierarchyConfig returns Table I's cache parameters.
+func DefaultHierarchyConfig() HierarchyConfig {
+	return HierarchyConfig{
+		L1I: Config{Name: "L1I", SizeBytes: 32 << 10, Ways: 8, LineSize: 64, AccessTime: 2, Level: WhereL1},
+		L1D: Config{Name: "L1D", SizeBytes: 32 << 10, Ways: 8, LineSize: 64, AccessTime: 2, Level: WhereL1},
+		L2:  Config{Name: "L2", SizeBytes: 256 << 10, Ways: 8, LineSize: 64, AccessTime: 8, Level: WhereL2},
+	}
+}
+
+// DefaultL3Config returns Table I's shared L3 parameters.
+func DefaultL3Config() Config {
+	return Config{Name: "L3", SizeBytes: 8 << 20, Ways: 16, LineSize: 64, AccessTime: 32, Level: WhereL3}
+}
+
+// NewHierarchy builds a core's private levels on top of the shared L3.
+func NewHierarchy(cfg HierarchyConfig, l3 *Cache) *Hierarchy {
+	l2 := New(cfg.L2, l3)
+	return &Hierarchy{
+		L1I: New(cfg.L1I, l2),
+		L1D: New(cfg.L1D, l2),
+		L2:  l2,
+	}
+}
+
+// Data performs a data access through L1D.
+func (h *Hierarchy) Data(pa memdefs.PAddr, write bool) (memdefs.Cycles, Where) {
+	return h.L1D.Access(pa, write)
+}
+
+// Instr performs an instruction fetch through L1I.
+func (h *Hierarchy) Instr(pa memdefs.PAddr) (memdefs.Cycles, Where) {
+	return h.L1I.Access(pa, false)
+}
+
+// Walker performs a page-walker access; walkers bypass the L1 and go to
+// the unified L2 (as in the paper's Figure 7, where walk requests "miss in
+// the local L2 but hit in the shared L3").
+func (h *Hierarchy) Walker(pa memdefs.PAddr, write bool) (memdefs.Cycles, Where) {
+	return h.L2.Access(pa, write)
+}
+
+// ResetStats clears all three private levels.
+func (h *Hierarchy) ResetStats() {
+	h.L1I.ResetStats()
+	h.L1D.ResetStats()
+	h.L2.ResetStats()
+}

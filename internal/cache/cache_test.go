@@ -1,0 +1,168 @@
+package cache
+
+import (
+	"testing"
+
+	"babelfish/internal/memdefs"
+)
+
+// fakeMem is a constant-latency backend for unit tests.
+type fakeMem struct {
+	lat      memdefs.Cycles
+	accesses int
+}
+
+func (f *fakeMem) Access(pa memdefs.PAddr, write bool) (memdefs.Cycles, Where) {
+	f.accesses++
+	return f.lat, WhereMem
+}
+
+func small(t *testing.T, below Backend) *Cache {
+	t.Helper()
+	return New(Config{
+		Name: "t", SizeBytes: 4096, Ways: 2, LineSize: 64, AccessTime: 2, Level: WhereL1,
+	}, below)
+}
+
+func TestHitAfterMiss(t *testing.T) {
+	mem := &fakeMem{lat: 100}
+	c := small(t, mem)
+	lat, where := c.Access(0x1000, false)
+	if where != WhereMem || lat != 102 {
+		t.Fatalf("first access: lat=%d where=%v", lat, where)
+	}
+	lat, where = c.Access(0x1000, false)
+	if where != WhereL1 || lat != 2 {
+		t.Fatalf("second access: lat=%d where=%v", lat, where)
+	}
+	// Same line, different byte: still a hit.
+	if _, where = c.Access(0x103F, false); where != WhereL1 {
+		t.Fatal("same-line access missed")
+	}
+	// Next line: miss.
+	if _, where = c.Access(0x1040, false); where != WhereMem {
+		t.Fatal("next-line access hit")
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestLRUAndWriteback(t *testing.T) {
+	mem := &fakeMem{lat: 100}
+	c := small(t, mem) // 32 sets x 2 ways, set stride 64*32 = 2048
+	base := memdefs.PAddr(0)
+	conflict1 := base + 2048
+	conflict2 := base + 4096
+	c.Access(base, true) // dirty
+	c.Access(conflict1, false)
+	c.Access(base, false)      // touch base so conflict1 is LRU
+	c.Access(conflict2, false) // evicts conflict1 (clean, no writeback)
+	if c.Stats().Writebacks != 0 {
+		t.Fatal("clean eviction counted as writeback")
+	}
+	// Now evict base (dirty): write it back.
+	c.Access(conflict1, false) // evicts... base is MRU? order: base, conflict2 in set
+	c.Access(conflict2, false)
+	c.Access(conflict1, false)
+	if c.Stats().Writebacks == 0 {
+		t.Fatal("dirty eviction produced no writeback")
+	}
+}
+
+func TestContainsAndInvalidate(t *testing.T) {
+	mem := &fakeMem{lat: 50}
+	c := small(t, mem)
+	c.Access(0x2000, false)
+	if !c.Contains(0x2000) || c.Contains(0x4000) {
+		t.Fatal("Contains wrong")
+	}
+	c.InvalidateAll()
+	if c.Contains(0x2000) {
+		t.Fatal("InvalidateAll left line")
+	}
+}
+
+func TestHierarchyLevels(t *testing.T) {
+	mem := &fakeMem{lat: 120}
+	l3 := New(DefaultL3Config(), mem)
+	h := NewHierarchy(DefaultHierarchyConfig(), l3)
+
+	// First data access goes to memory through every level.
+	lat, where := h.Data(0x12345, false)
+	if where != WhereMem {
+		t.Fatalf("first access served at %v", where)
+	}
+	wantLat := memdefs.Cycles(2 + 8 + 32 + 120)
+	if lat != wantLat {
+		t.Fatalf("lat = %d, want %d", lat, wantLat)
+	}
+	// Second: L1 hit.
+	if _, where = h.Data(0x12345, false); where != WhereL1 {
+		t.Fatalf("second access served at %v", where)
+	}
+	// Instruction path is independent: same line misses L1I but hits L2.
+	if _, where = h.Instr(0x12345); where != WhereL2 {
+		t.Fatalf("instr access served at %v", where)
+	}
+	// Walker requests bypass L1: new line should be L2-filled.
+	if _, where = h.Walker(0x99000, false); where != WhereMem {
+		t.Fatalf("walker first access served at %v", where)
+	}
+	if _, where = h.Walker(0x99000, false); where != WhereL2 {
+		t.Fatalf("walker second access served at %v", where)
+	}
+	// And L1 does not hold walker lines.
+	if _, where = h.Data(0x99000, false); where != WhereL2 {
+		t.Fatalf("data after walker served at %v", where)
+	}
+}
+
+func TestCrossCoreL3Sharing(t *testing.T) {
+	mem := &fakeMem{lat: 120}
+	l3 := New(DefaultL3Config(), mem)
+	h0 := NewHierarchy(DefaultHierarchyConfig(), l3)
+	h1 := NewHierarchy(DefaultHierarchyConfig(), l3)
+	h0.Data(0x5000, false)
+	// Another core: misses private levels, hits shared L3 — the paper's
+	// Figure 7 "container B hits in the shared L3" effect.
+	_, where := h1.Data(0x5000, false)
+	if where != WhereL3 {
+		t.Fatalf("cross-core access served at %v, want L3", where)
+	}
+	if mem.accesses != 1 {
+		t.Fatalf("memory touched %d times, want 1", mem.accesses)
+	}
+}
+
+func TestGeometryValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad geometry accepted")
+		}
+	}()
+	New(Config{Name: "bad", SizeBytes: 3000, Ways: 3, LineSize: 64, AccessTime: 1}, &fakeMem{})
+}
+
+func TestWhereStrings(t *testing.T) {
+	for w, want := range map[Where]string{
+		WhereL1: "L1", WhereL2: "L2", WhereL3: "L3", WhereMem: "Mem",
+	} {
+		if w.String() != want {
+			t.Errorf("%d.String() = %q", w, w.String())
+		}
+	}
+}
+
+func TestResetStatsHierarchy(t *testing.T) {
+	mem := &fakeMem{lat: 50}
+	l3 := New(DefaultL3Config(), mem)
+	h := NewHierarchy(DefaultHierarchyConfig(), l3)
+	h.Data(0x100, true)
+	h.Instr(0x200)
+	h.ResetStats()
+	if h.L1D.Stats().Accesses != 0 || h.L1I.Stats().Accesses != 0 || h.L2.Stats().Accesses != 0 {
+		t.Fatal("hierarchy reset incomplete")
+	}
+}

@@ -1,0 +1,105 @@
+package cacti
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBaselineCalibration(t *testing.T) {
+	// The model must reproduce Table III's baseline row exactly at the
+	// calibration point.
+	r := BaselineL2()
+	if math.Abs(r.AreaMM2-0.030) > 1e-9 {
+		t.Errorf("area = %v, want 0.030", r.AreaMM2)
+	}
+	if math.Abs(r.AccessPS-327) > 0.5 {
+		t.Errorf("access = %v, want 327", r.AccessPS)
+	}
+	if math.Abs(r.DynEnergy-10.22) > 1e-9 {
+		t.Errorf("energy = %v, want 10.22", r.DynEnergy)
+	}
+	if math.Abs(r.LeakageMW-4.16) > 1e-9 {
+		t.Errorf("leakage = %v, want 4.16", r.LeakageMW)
+	}
+}
+
+func TestBabelFishCostsMore(t *testing.T) {
+	b, f := BaselineL2(), BabelFishL2()
+	if f.AreaMM2 <= b.AreaMM2 || f.AccessPS <= b.AccessPS ||
+		f.DynEnergy <= b.DynEnergy || f.LeakageMW <= b.LeakageMW {
+		t.Fatalf("BabelFish not costlier: %+v vs %+v", f, b)
+	}
+	// Paper's BabelFish row: 0.062mm2 / 456ps / 21.97pJ / 6.22mW. Our
+	// surrogate must land within a factor-of-~1.5 band of those.
+	checks := []struct {
+		name       string
+		got, paper float64
+	}{
+		{"area", f.AreaMM2, 0.062},
+		{"access", f.AccessPS, 456},
+		{"energy", f.DynEnergy, 21.97},
+		{"leakage", f.LeakageMW, 6.22},
+	}
+	for _, c := range checks {
+		ratio := c.got / c.paper
+		if ratio < 0.6 || ratio > 1.6 {
+			t.Errorf("%s = %v vs paper %v (ratio %.2f)", c.name, c.got, c.paper, ratio)
+		}
+	}
+}
+
+func TestEntryBits(t *testing.T) {
+	base := BaselineEntryBits()
+	bf := BabelFishEntryBits()
+	if bf.Total()-base.Total() != 12+34 {
+		t.Fatalf("BabelFish adds %d bits, want 46", bf.Total()-base.Total())
+	}
+	nm := BabelFishNoMaskEntryBits()
+	if nm.Total()-base.Total() != 14 {
+		t.Fatalf("no-mask adds %d bits, want 14", nm.Total()-base.Total())
+	}
+}
+
+func TestAreaOverheads(t *testing.T) {
+	full := CoreAreaOverheadPct(BabelFishEntryBits())
+	nomask := CoreAreaOverheadPct(BabelFishNoMaskEntryBits())
+	// Paper: 0.4% and 0.07%. Accept the right order of magnitude and
+	// ordering.
+	if full <= nomask {
+		t.Fatalf("full overhead %v not above no-mask %v", full, nomask)
+	}
+	if full < 0.05 || full > 1.0 {
+		t.Errorf("full overhead %v out of band", full)
+	}
+	if nomask < 0.01 || nomask > 0.2 {
+		t.Errorf("no-mask overhead %v out of band", nomask)
+	}
+}
+
+func TestMemorySpaceOverheads(t *testing.T) {
+	mask, counter, total := MemorySpaceOverheadPct(true)
+	if math.Abs(mask-0.1953125) > 1e-6 {
+		t.Errorf("mask pct = %v", mask) // paper: 0.19%
+	}
+	if math.Abs(counter-0.048828125) > 1e-6 {
+		t.Errorf("counter pct = %v", counter) // paper: 0.048%
+	}
+	if math.Abs(total-(mask+counter)) > 1e-9 {
+		t.Errorf("total %v != mask+counter", total)
+	}
+	m2, _, t2 := MemorySpaceOverheadPct(false)
+	if m2 != 0 || t2 >= total {
+		t.Errorf("no-mask variant wrong: %v %v", m2, t2)
+	}
+}
+
+func TestModelScalesWithSize(t *testing.T) {
+	small := Model(Config{Entries: 768, Ways: 12, Bits: BaselineEntryBits()})
+	big := Model(Config{Entries: 3072, Ways: 12, Bits: BaselineEntryBits()})
+	if small.AreaMM2 >= big.AreaMM2 || small.LeakageMW >= big.LeakageMW {
+		t.Fatal("area/leakage not monotone in size")
+	}
+	if small.AccessPS >= big.AccessPS {
+		t.Fatal("access time not monotone in size")
+	}
+}

@@ -1,0 +1,67 @@
+package dram
+
+import (
+	"testing"
+
+	"babelfish/internal/cache"
+	"babelfish/internal/memdefs"
+)
+
+func TestRowBufferHitMiss(t *testing.T) {
+	d := New(DefaultConfig())
+	cfg := DefaultConfig()
+
+	lat1, where := d.Access(0x1000, false)
+	if where != cache.WhereMem {
+		t.Fatalf("where = %v", where)
+	}
+	if lat1 != cfg.RowMiss {
+		t.Fatalf("first access lat %d, want row miss %d", lat1, cfg.RowMiss)
+	}
+	// Same row: row-buffer hit.
+	lat2, _ := d.Access(0x1040, false)
+	if lat2 != cfg.RowHit {
+		t.Fatalf("same-row access lat %d, want %d", lat2, cfg.RowHit)
+	}
+	// A different row in the same bank: conflict (row miss). Banks are
+	// selected by row index mod numBanks, so the same bank recurs every
+	// numBanks rows.
+	numBanks := cfg.Channels * cfg.RanksPerChan * cfg.BanksPerRank
+	conflict := memdefs.PAddr(uint64(cfg.RowBytes) * uint64(numBanks))
+	lat3, _ := d.Access(conflict+0x1000, false)
+	if lat3 != cfg.RowMiss {
+		t.Fatalf("bank-conflict access lat %d, want %d", lat3, cfg.RowMiss)
+	}
+	st := d.Stats()
+	if st.RowHits != 1 || st.RowMisses != 2 || st.Reads != 3 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestBankInterleaving(t *testing.T) {
+	cfg := DefaultConfig()
+	d := New(cfg)
+	// Consecutive rows land in different banks, so alternating between
+	// two adjacent rows should not thrash a single row buffer.
+	rowA := memdefs.PAddr(0)
+	rowB := memdefs.PAddr(cfg.RowBytes)
+	d.Access(rowA, false)
+	d.Access(rowB, false)
+	latA, _ := d.Access(rowA+64, false)
+	latB, _ := d.Access(rowB+64, true)
+	if latA != cfg.RowHit || latB != cfg.RowHit {
+		t.Fatalf("interleaved rows missed: %d %d", latA, latB)
+	}
+	if d.Stats().Writes != 1 {
+		t.Fatalf("writes = %d", d.Stats().Writes)
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	d := New(DefaultConfig())
+	d.Access(0, false)
+	d.ResetStats()
+	if s := d.Stats(); s.Reads != 0 || s.RowMisses != 0 {
+		t.Fatalf("stats after reset: %+v", s)
+	}
+}

@@ -1,0 +1,333 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"babelfish/internal/metrics"
+	"babelfish/internal/sim"
+	"babelfish/internal/workloads"
+)
+
+// triple holds one application's primary metric under the three
+// architectures used by Figure 11 and Table II.
+type triple struct {
+	Base, PTOnly, Full float64
+}
+
+func (t triple) reductionPct() float64 { return metrics.ReductionPct(t.Base, t.Full) }
+
+// tlbFraction attributes the gain to L2 TLB effects (Table II):
+// fraction = (T_PTonly − T_full) / (T_base − T_full), clamped to [0, 1].
+func (t triple) tlbFraction() float64 {
+	den := t.Base - t.Full
+	if den <= 0 {
+		return 0
+	}
+	f := (t.PTOnly - t.Full) / den
+	if f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// Fig11Result carries the latency/execution-time reductions of Figure 11
+// together with the Table II attribution (computed from the same runs).
+type Fig11Result struct {
+	// Data serving: mean and p95 latency.
+	ServingApps []string
+	ServingMean []triple
+	ServingTail []triple
+
+	// Compute: execution time (cycles per operation batch).
+	ComputeApps []string
+	ComputeExec []triple
+
+	// Functions: completion time per function, dense and sparse.
+	FuncNames   []string
+	DenseExec   []triple
+	SparseExec  []triple
+	BringupNote string
+}
+
+// Fig11 runs everything. This is the heaviest experiment: every workload
+// under Baseline, BabelFish-PTonly and full BabelFish.
+func Fig11(o Options) (*Fig11Result, error) {
+	res := &Fig11Result{}
+
+	for _, spec := range ServingApps() {
+		mean, tail, err := servingTriple(o, spec)
+		if err != nil {
+			return nil, err
+		}
+		res.ServingApps = append(res.ServingApps, spec.Name)
+		res.ServingMean = append(res.ServingMean, mean)
+		res.ServingTail = append(res.ServingTail, tail)
+	}
+	for _, spec := range ComputeApps() {
+		exec, err := computeTriple(o, spec)
+		if err != nil {
+			return nil, err
+		}
+		res.ComputeApps = append(res.ComputeApps, spec.Name)
+		res.ComputeExec = append(res.ComputeExec, exec)
+	}
+	for _, sparse := range []bool{false, true} {
+		names, ts, err := functionTriples(o, sparse)
+		if err != nil {
+			return nil, err
+		}
+		if res.FuncNames == nil {
+			res.FuncNames = names
+		}
+		if sparse {
+			res.SparseExec = ts
+		} else {
+			res.DenseExec = ts
+		}
+	}
+	return res, nil
+}
+
+// servingTriple measures one app's mean (and p95) request latency under
+// the three architectures.
+func servingTriple(o Options, spec *workloads.AppSpec) (mean, tail triple, err error) {
+	for i, a := range []Arch{Baseline, BabelFishPT, BabelFish} {
+		_, d, e := deployServing(o, a, spec)
+		if e != nil {
+			return mean, tail, e
+		}
+		mv, tv := d.MeanLatency(), d.TailLatency(95)
+		switch i {
+		case 0:
+			mean.Base, tail.Base = mv, tv
+		case 1:
+			mean.PTOnly, tail.PTOnly = mv, tv
+		case 2:
+			mean.Full, tail.Full = mv, tv
+		}
+	}
+	return mean, tail, nil
+}
+
+// computeTriple measures a compute app's per-operation execution time in
+// task-own cycles under the three architectures.
+func computeTriple(o Options, spec *workloads.AppSpec) (exec triple, err error) {
+	for i, a := range []Arch{Baseline, BabelFishPT, BabelFish} {
+		_, d, e := deployServing(o, a, spec)
+		if e != nil {
+			return exec, e
+		}
+		v := d.MeanExecOwn()
+		switch i {
+		case 0:
+			exec.Base = v
+		case 1:
+			exec.PTOnly = v
+		case 2:
+			exec.Full = v
+		}
+	}
+	return exec, nil
+}
+
+// functionTriples measures per-function completion time with the paper's
+// exclusion of cold-start effects: a leading group of three containers
+// (one per function) runs to completion first and is not measured — "the
+// leading function behaves similarly in both BabelFish and Baseline due
+// to cold start effects" — then the measured wave runs, one container of
+// each function per core.
+func functionTriples(o Options, sparse bool) ([]string, []triple, error) {
+	type perArch struct {
+		sums   map[string]float64
+		counts map[string]int
+	}
+	run := func(a Arch) (perArch, []string, error) {
+		pa := perArch{sums: map[string]float64{}, counts: map[string]int{}}
+		m := sim.New(o.Params(a))
+		fg, err := workloads.DeployFaaS(m, sparse, o.Scale, o.Seed)
+		if err != nil {
+			return pa, nil, err
+		}
+		names := fg.FunctionNames()
+		// Leading wave (excluded from measurement).
+		for j, name := range names {
+			if _, _, err := fg.Spawn(name, j%o.Cores, o.Seed+uint64(j)); err != nil {
+				return pa, nil, err
+			}
+		}
+		if err := m.RunToCompletion(); err != nil {
+			return pa, nil, err
+		}
+		// Measured wave.
+		type sched struct {
+			task *sim.Task
+			name string
+		}
+		var scheds []sched
+		for core := 0; core < o.Cores; core++ {
+			for j, name := range names {
+				task, _, err := fg.Spawn(name, core, o.Seed+uint64(1000+core*97+j))
+				if err != nil {
+					return pa, nil, err
+				}
+				scheds = append(scheds, sched{task: task, name: name})
+			}
+		}
+		if err := m.RunToCompletion(); err != nil {
+			return pa, nil, err
+		}
+		for _, s := range scheds {
+			// Use the task's own cycles: three functions multiplex one
+			// core, so wall-clock would triple-count the others' slices.
+			if s.task.LatOwn.Count() > 0 {
+				pa.sums[s.name] += s.task.LatOwn.Mean()
+				pa.counts[s.name]++
+			}
+		}
+		return pa, names, nil
+	}
+
+	base, names, err := run(Baseline)
+	if err != nil {
+		return nil, nil, err
+	}
+	pt, _, err := run(BabelFishPT)
+	if err != nil {
+		return nil, nil, err
+	}
+	full, _, err := run(BabelFish)
+	if err != nil {
+		return nil, nil, err
+	}
+	var out []triple
+	for _, n := range names {
+		avg := func(pa perArch) float64 {
+			if pa.counts[n] == 0 {
+				return 0
+			}
+			return pa.sums[n] / float64(pa.counts[n])
+		}
+		out = append(out, triple{Base: avg(base), PTOnly: avg(pt), Full: avg(full)})
+	}
+	return names, out, nil
+}
+
+// MeanServingReduction averages the mean-latency reductions (paper: 11%).
+func (r *Fig11Result) MeanServingReduction() float64 {
+	return avgReduction(r.ServingMean)
+}
+
+// TailServingReduction averages the p95 reductions (paper: 18%).
+func (r *Fig11Result) TailServingReduction() float64 {
+	return avgReduction(r.ServingTail)
+}
+
+// ComputeReduction averages the compute execution-time reductions
+// (paper: 11%).
+func (r *Fig11Result) ComputeReduction() float64 {
+	return avgReduction(r.ComputeExec)
+}
+
+// DenseReduction / SparseReduction average the function execution-time
+// reductions (paper: dense 10%, sparse 55%).
+func (r *Fig11Result) DenseReduction() float64  { return avgReduction(r.DenseExec) }
+func (r *Fig11Result) SparseReduction() float64 { return avgReduction(r.SparseExec) }
+
+func avgReduction(ts []triple) float64 {
+	if len(ts) == 0 {
+		return 0
+	}
+	var s float64
+	for _, t := range ts {
+		s += t.reductionPct()
+	}
+	return s / float64(len(ts))
+}
+
+// String renders Figure 11.
+func (r *Fig11Result) String() string {
+	var b strings.Builder
+	t := metrics.NewTable("Figure 11: latency/time reduction (paper: serving mean -11% / tail -18%; compute -11%; dense -10%; sparse -55%)",
+		"workload", "metric", "baseline", "babelfish", "reduction%")
+	for i, app := range r.ServingApps {
+		t.Row(app, "mean-lat", r.ServingMean[i].Base, r.ServingMean[i].Full, r.ServingMean[i].reductionPct())
+		t.Row(app, "p95-lat", r.ServingTail[i].Base, r.ServingTail[i].Full, r.ServingTail[i].reductionPct())
+	}
+	for i, app := range r.ComputeApps {
+		t.Row(app, "exec", r.ComputeExec[i].Base, r.ComputeExec[i].Full, r.ComputeExec[i].reductionPct())
+	}
+	for i, fn := range r.FuncNames {
+		if i < len(r.DenseExec) {
+			t.Row(fn+"-dense", "exec", r.DenseExec[i].Base, r.DenseExec[i].Full, r.DenseExec[i].reductionPct())
+		}
+		if i < len(r.SparseExec) {
+			t.Row(fn+"-sparse", "exec", r.SparseExec[i].Base, r.SparseExec[i].Full, r.SparseExec[i].reductionPct())
+		}
+	}
+	b.WriteString(t.String())
+	b.WriteString("\n")
+	s := metrics.NewTable("Figure 11 summary", "class", "reduction%")
+	s.Row("serving-mean", r.MeanServingReduction())
+	s.Row("serving-tail", r.TailServingReduction())
+	s.Row("compute", r.ComputeReduction())
+	s.Row("functions-dense", r.DenseReduction())
+	s.Row("functions-sparse", r.SparseReduction())
+	b.WriteString(s.String())
+	return b.String()
+}
+
+// TableIIResult attributes Figure 11's gains to L2 TLB effects (the rest
+// comes from page-table effects).
+type TableIIResult struct {
+	Fig11 *Fig11Result
+}
+
+// TableII derives the attribution from a Fig11 run.
+func TableII(f *Fig11Result) *TableIIResult { return &TableIIResult{Fig11: f} }
+
+// String renders Table II.
+func (r *TableIIResult) String() string {
+	f := r.Fig11
+	t := metrics.NewTable("Table II: fraction of time reduction due to L2 TLB effects (paper: Mongo 0.77, Arango 0.25, HTTPd 0.81, GraphChi 0.11, FIO 0.29, dense avg 0.20, sparse avg 0.01)",
+		"workload", "tlbFraction")
+	var servingSum float64
+	for i, app := range f.ServingApps {
+		frac := f.ServingMean[i].tlbFraction()
+		servingSum += frac
+		t.Row(app, frac)
+	}
+	if len(f.ServingApps) > 0 {
+		t.Row("serving-average", servingSum/float64(len(f.ServingApps)))
+	}
+	var compSum float64
+	for i, app := range f.ComputeApps {
+		frac := f.ComputeExec[i].tlbFraction()
+		compSum += frac
+		t.Row(app, frac)
+	}
+	if len(f.ComputeApps) > 0 {
+		t.Row("compute-average", compSum/float64(len(f.ComputeApps)))
+	}
+	var dSum, sSum float64
+	for i, fn := range f.FuncNames {
+		if i < len(f.DenseExec) {
+			frac := f.DenseExec[i].tlbFraction()
+			dSum += frac
+			t.Row(fmt.Sprintf("%s-dense", fn), frac)
+		}
+		if i < len(f.SparseExec) {
+			frac := f.SparseExec[i].tlbFraction()
+			sSum += frac
+			t.Row(fmt.Sprintf("%s-sparse", fn), frac)
+		}
+	}
+	if n := float64(len(f.FuncNames)); n > 0 {
+		t.Row("dense-average", dSum/n)
+		t.Row("sparse-average", sSum/n)
+	}
+	return t.String()
+}

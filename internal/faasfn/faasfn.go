@@ -1,0 +1,133 @@
+// Package faasfn implements the three C/C++-style serverless functions
+// the paper developed for its FaaS evaluation (Section VI): Parse, which
+// tokenizes an input string; Hash, the djb2 algorithm of McKenzie et
+// al.; and Marshal, which converts an input string to integers. The
+// functions operate on real bytes; the workloads package uses them both
+// to validate the relative per-byte work factors of its generators and
+// to synthesize deterministic inputs.
+package faasfn
+
+import (
+	"fmt"
+)
+
+// DJB2 computes the djb2 hash (hash = hash*33 + c, seeded with 5381) —
+// the exact algorithm the paper's Hash function uses.
+func DJB2(input []byte) uint64 {
+	var h uint64 = 5381
+	for _, c := range input {
+		h = h*33 + uint64(c)
+	}
+	return h
+}
+
+// Tokenize splits the input on ASCII whitespace, returning the tokens as
+// sub-slices of the input (no copying) — the paper's Parse function.
+func Tokenize(input []byte) [][]byte {
+	var out [][]byte
+	start := -1
+	for i, c := range input {
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			if start >= 0 {
+				out = append(out, input[start:i])
+				start = -1
+			}
+			continue
+		}
+		if start < 0 {
+			start = i
+		}
+	}
+	if start >= 0 {
+		out = append(out, input[start:])
+	}
+	return out
+}
+
+// MarshalInts converts every decimal token of the input to an integer —
+// the paper's Marshal function ("transforms an input string to an
+// integer"). Tokens that are not integers are skipped.
+func MarshalInts(input []byte) []int64 {
+	var out []int64
+	for _, tok := range Tokenize(input) {
+		v, ok := parseInt(tok)
+		if ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func parseInt(tok []byte) (int64, bool) {
+	if len(tok) == 0 {
+		return 0, false
+	}
+	neg := false
+	i := 0
+	if tok[0] == '-' || tok[0] == '+' {
+		neg = tok[0] == '-'
+		i = 1
+		if len(tok) == 1 {
+			return 0, false
+		}
+	}
+	var v int64
+	for ; i < len(tok); i++ {
+		c := tok[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		v = v*10 + int64(c-'0')
+		if v < 0 {
+			return 0, false // overflow
+		}
+	}
+	if neg {
+		v = -v
+	}
+	return v, true
+}
+
+// SyntheticInput produces a deterministic page-sized text of whitespace-
+// separated decimal numbers — the kind of input dataset the paper's
+// functions consume ("each function operates on an input dataset similar
+// to [AWS Lambda]").
+func SyntheticInput(pageIdx int, size int) []byte {
+	out := make([]byte, 0, size)
+	v := uint64(pageIdx)*2654435761 + 12345
+	for len(out) < size {
+		v = v*6364136223846793005 + 1442695040888963407
+		out = append(out, []byte(fmt.Sprintf("%d ", v%1_000_000))...)
+	}
+	return out[:size]
+}
+
+// WorkFactors estimates the relative per-byte compute of the three
+// functions by running them over a synthetic corpus; the workloads
+// package asserts its ThinkPerLine constants preserve this ordering
+// (hash > marshal > parse in operations per byte, per the simple cost
+// model below).
+type WorkFactors struct {
+	Parse, Hash, Marshal float64 // abstract ops per byte
+}
+
+// MeasureWorkFactors computes the factors over n synthetic pages.
+func MeasureWorkFactors(n int) WorkFactors {
+	var wf WorkFactors
+	var bytes float64
+	for i := 0; i < n; i++ {
+		in := SyntheticInput(i, 4096)
+		bytes += float64(len(in))
+		// Cost model: one op per byte scanned plus per-token overheads.
+		toks := Tokenize(in)
+		wf.Parse += float64(len(in)) + 4*float64(len(toks))
+		_ = DJB2(in)
+		wf.Hash += 4 * float64(len(in)) // load+multiply+add+loop per byte
+		ints := MarshalInts(in)
+		wf.Marshal += 2*float64(len(in)) + 8*float64(len(ints))
+	}
+	wf.Parse /= bytes
+	wf.Hash /= bytes
+	wf.Marshal /= bytes
+	return wf
+}

@@ -1,0 +1,122 @@
+package faasfn
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestDJB2KnownValues(t *testing.T) {
+	// Reference values from the canonical djb2 definition
+	// (hash = 5381; hash = hash*33 + c).
+	cases := []struct {
+		in   string
+		want uint64
+	}{
+		{"", 5381},
+		{"a", 5381*33 + 'a'},
+		{"ab", (5381*33+'a')*33 + 'b'},
+	}
+	for _, c := range cases {
+		if got := DJB2([]byte(c.in)); got != c.want {
+			t.Errorf("DJB2(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+	// Distinct strings hash differently (sanity).
+	if DJB2([]byte("hello")) == DJB2([]byte("world")) {
+		t.Error("collision on trivial inputs")
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	toks := Tokenize([]byte("  foo bar\tbaz\nqux  "))
+	want := []string{"foo", "bar", "baz", "qux"}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d", len(toks), len(want))
+	}
+	for i, w := range want {
+		if string(toks[i]) != w {
+			t.Errorf("token %d = %q, want %q", i, toks[i], w)
+		}
+	}
+	if len(Tokenize(nil)) != 0 || len(Tokenize([]byte("   "))) != 0 {
+		t.Error("empty inputs produced tokens")
+	}
+	if got := Tokenize([]byte("single")); len(got) != 1 || string(got[0]) != "single" {
+		t.Error("unterminated token lost")
+	}
+}
+
+func TestTokenizeRoundTripQuick(t *testing.T) {
+	// Property: joining the tokens with single spaces and re-tokenizing
+	// is a fixpoint, and no token contains whitespace.
+	f := func(in []byte) bool {
+		toks := Tokenize(in)
+		for _, tok := range toks {
+			if len(tok) == 0 || bytes.ContainsAny(tok, " \t\n\r") {
+				return false
+			}
+		}
+		joined := bytes.Join(toks, []byte(" "))
+		again := Tokenize(joined)
+		if len(again) != len(toks) {
+			return false
+		}
+		for i := range toks {
+			if !bytes.Equal(again[i], toks[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMarshalInts(t *testing.T) {
+	got := MarshalInts([]byte("12 -7 +3 x9 99x 0"))
+	want := []int64{12, -7, 3, 0}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if len(MarshalInts([]byte("- + abc"))) != 0 {
+		t.Error("junk parsed as integers")
+	}
+}
+
+func TestSyntheticInputDeterministicAndParsable(t *testing.T) {
+	a := SyntheticInput(7, 4096)
+	b := SyntheticInput(7, 4096)
+	if !bytes.Equal(a, b) {
+		t.Fatal("synthetic input not deterministic")
+	}
+	if len(a) != 4096 {
+		t.Fatalf("size %d", len(a))
+	}
+	ints := MarshalInts(a)
+	if len(ints) < 100 {
+		t.Fatalf("synthetic page parsed to only %d integers", len(ints))
+	}
+	// Different pages differ.
+	if bytes.Equal(a, SyntheticInput(8, 4096)) {
+		t.Fatal("pages identical")
+	}
+}
+
+func TestWorkFactorOrdering(t *testing.T) {
+	wf := MeasureWorkFactors(16)
+	// The workloads package gives Hash the highest ThinkPerLine, then
+	// Marshal, then Parse; the measured per-byte work must agree.
+	if !(wf.Hash > wf.Marshal && wf.Marshal > wf.Parse) {
+		t.Fatalf("work ordering violated: %+v", wf)
+	}
+	if wf.Parse <= 0 {
+		t.Fatal("degenerate factors")
+	}
+}

@@ -1,0 +1,55 @@
+package faasfn
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Fuzz targets run their seed corpora as ordinary tests under `go test`
+// and can be expanded with `go test -fuzz`.
+
+func FuzzTokenize(f *testing.F) {
+	f.Add([]byte("hello world"))
+	f.Add([]byte(""))
+	f.Add([]byte("  \t\n "))
+	f.Add([]byte("a"))
+	f.Add(SyntheticInput(3, 256))
+	f.Fuzz(func(t *testing.T, in []byte) {
+		toks := Tokenize(in)
+		total := 0
+		for _, tok := range toks {
+			if len(tok) == 0 {
+				t.Fatal("empty token")
+			}
+			if bytes.ContainsAny(tok, " \t\n\r") {
+				t.Fatal("token contains whitespace")
+			}
+			total += len(tok)
+		}
+		if total > len(in) {
+			t.Fatal("tokens longer than input")
+		}
+	})
+}
+
+func FuzzMarshalInts(f *testing.F) {
+	f.Add([]byte("1 2 3"))
+	f.Add([]byte("-9223372036854775808 9223372036854775807"))
+	f.Add([]byte("99999999999999999999999999"))
+	f.Add([]byte("+ - +1 -1 0"))
+	f.Fuzz(func(t *testing.T, in []byte) {
+		ints := MarshalInts(in)
+		if len(ints) > len(Tokenize(in)) {
+			t.Fatal("more integers than tokens")
+		}
+	})
+}
+
+func FuzzDJB2Deterministic(f *testing.F) {
+	f.Add([]byte("abc"))
+	f.Fuzz(func(t *testing.T, in []byte) {
+		if DJB2(in) != DJB2(append([]byte(nil), in...)) {
+			t.Fatal("hash not deterministic")
+		}
+	})
+}

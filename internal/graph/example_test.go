@@ -1,0 +1,28 @@
+package graph_test
+
+import (
+	"fmt"
+	"math"
+
+	"babelfish/internal/graph"
+)
+
+// Generate a power-law graph and run PageRank on it.
+func Example() {
+	g, err := graph.RMAT(10, 8, 42)
+	if err != nil {
+		panic(err)
+	}
+	rank, iters := graph.PageRank(g, 0.85, 1e-9, 500)
+	sum := 0.0
+	for _, r := range rank {
+		sum += r
+	}
+	fmt.Println("vertices:", g.N)
+	fmt.Println("converged:", iters < 500)
+	fmt.Println("ranks sum to one:", math.Abs(sum-1) < 1e-6)
+	// Output:
+	// vertices: 1024
+	// converged: true
+	// ranks sum to one: true
+}

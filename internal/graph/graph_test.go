@@ -1,0 +1,160 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRMATBasics(t *testing.T) {
+	g, err := RMAT(10, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 1024 {
+		t.Fatalf("N = %d", g.N)
+	}
+	if g.Edges() != 1024*8 {
+		t.Fatalf("edges = %d", g.Edges())
+	}
+	if int(g.RowPtr[g.N]) != g.Edges() {
+		t.Fatalf("RowPtr closure broken: %d vs %d", g.RowPtr[g.N], g.Edges())
+	}
+	// Monotone row pointers; destinations in range; no self loops.
+	for v := 0; v < g.N; v++ {
+		if g.RowPtr[v+1] < g.RowPtr[v] {
+			t.Fatalf("RowPtr not monotone at %d", v)
+		}
+		for _, w := range g.Neighbors(v) {
+			if int(w) < 0 || int(w) >= g.N {
+				t.Fatalf("edge %d->%d out of range", v, w)
+			}
+			if int(w) == v {
+				t.Fatalf("self loop at %d", v)
+			}
+		}
+	}
+}
+
+func TestRMATPowerLaw(t *testing.T) {
+	g, err := RMAT(12, 16, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// R-MAT graphs are skewed: the top-1% of vertices hold a large share
+	// of the edges, and many vertices have zero out-degree.
+	degs := make([]int, g.N)
+	for v := range degs {
+		degs[v] = g.OutDegree(v)
+	}
+	max, zeros := 0, 0
+	for _, d := range degs {
+		if d > max {
+			max = d
+		}
+		if d == 0 {
+			zeros++
+		}
+	}
+	avg := float64(g.Edges()) / float64(g.N)
+	if float64(max) < avg*10 {
+		t.Errorf("max degree %d not ≫ average %.1f — not power law", max, avg)
+	}
+	if zeros == 0 {
+		t.Error("no dangling vertices — implausible for R-MAT")
+	}
+}
+
+func TestRMATDeterministic(t *testing.T) {
+	a, _ := RMAT(8, 4, 99)
+	b, _ := RMAT(8, 4, 99)
+	if len(a.Dst) != len(b.Dst) {
+		t.Fatal("sizes differ")
+	}
+	for i := range a.Dst {
+		if a.Dst[i] != b.Dst[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+}
+
+func TestRMATValidation(t *testing.T) {
+	if _, err := RMAT(0, 4, 1); err == nil {
+		t.Error("scale 0 accepted")
+	}
+	if _, err := RMAT(30, 4, 1); err == nil {
+		t.Error("scale 30 accepted")
+	}
+	if _, err := RMAT(8, 0, 1); err == nil {
+		t.Error("edge factor 0 accepted")
+	}
+}
+
+func TestPageRankConvergesAndSumsToOne(t *testing.T) {
+	g, err := RMAT(10, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rank, iters := PageRank(g, 0.85, 1e-8, 200)
+	if iters >= 200 {
+		t.Fatalf("did not converge in %d iterations", iters)
+	}
+	sum := 0.0
+	for _, r := range rank {
+		if r < 0 {
+			t.Fatal("negative rank")
+		}
+		sum += r
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("ranks sum to %v", sum)
+	}
+}
+
+func TestPageRankOnKnownGraph(t *testing.T) {
+	// A 3-cycle: every vertex must end with rank 1/3.
+	g := &CSR{N: 3, RowPtr: []int32{0, 1, 2, 3}, Dst: []int32{1, 2, 0}}
+	rank, _ := PageRank(g, 0.85, 1e-12, 500)
+	for v, r := range rank {
+		if math.Abs(r-1.0/3) > 1e-9 {
+			t.Fatalf("vertex %d rank %v, want 1/3", v, r)
+		}
+	}
+	// A star 1->0, 2->0: vertex 0 must dominate.
+	star := &CSR{N: 3, RowPtr: []int32{0, 0, 1, 2}, Dst: []int32{0, 0}}
+	rank, _ = PageRank(star, 0.85, 1e-12, 500)
+	if !(rank[0] > rank[1] && rank[0] > rank[2]) {
+		t.Fatalf("star center not dominant: %v", rank)
+	}
+}
+
+func TestLayoutPaging(t *testing.T) {
+	g, _ := RMAT(10, 8, 5)
+	l := NewLayout(g)
+	if l.TotalPages() != l.VertexPages+l.EdgePages {
+		t.Fatal("page accounting inconsistent")
+	}
+	if l.VertexPage(0) != 0 {
+		t.Fatal("first vertex not on page 0")
+	}
+	if l.VertexPage(g.N-1) >= l.VertexPages {
+		t.Fatal("vertex page beyond vertex section")
+	}
+	if l.EdgePage(0) != l.VertexPages {
+		t.Fatal("first edge not at edge-section start")
+	}
+	if l.EdgePage(len(g.Dst)-1) >= l.TotalPages() {
+		t.Fatal("edge page beyond file")
+	}
+	// Property: pages are monotone in index.
+	f := func(a, b uint16) bool {
+		i, j := int(a)%len(g.Dst), int(b)%len(g.Dst)
+		if i > j {
+			i, j = j, i
+		}
+		return l.EdgePage(i) <= l.EdgePage(j)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

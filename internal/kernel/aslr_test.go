@@ -1,0 +1,142 @@
+package kernel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"babelfish/internal/memdefs"
+)
+
+func TestSegOfClassification(t *testing.T) {
+	for s := SegText; s < NumSegs; s++ {
+		for _, off := range []memdefs.VAddr{0, 0x1000, segSpan - 1} {
+			got, ok := SegOf(segBases[s] + off)
+			if !ok || got != s {
+				t.Fatalf("SegOf(%#x) = %v/%v, want %v", segBases[s]+off, got, ok, s)
+			}
+		}
+	}
+	if _, ok := SegOf(0x1000); ok {
+		t.Fatal("low address classified into a segment")
+	}
+}
+
+func TestASLRRoundTripQuick(t *testing.T) {
+	k := newKernel(t, ModeBabelFish) // ASLR-HW: per-process layouts
+	g := k.NewGroup("app", 99)
+	p := mustProc(t, k, g, "c")
+	f := func(seg uint8, off uint32) bool {
+		s := Seg(int(seg) % int(NumSegs))
+		gva := segBases[s] + g.groupOff[s] + memdefs.VAddr(off)
+		return p.GroupVA(p.ProcVA(gva)) == gva
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestASLROffsetsAlignedAndBounded(t *testing.T) {
+	for seed := uint64(0); seed < 64; seed++ {
+		offs := aslrOffsets(seed)
+		for s, off := range offs {
+			if uint64(off)%uint64(aslrOffUnit) != 0 {
+				t.Fatalf("seed %d seg %d offset %#x not 1GB aligned", seed, s, off)
+			}
+			if off >= aslrOffUnit*aslrOffWindow {
+				t.Fatalf("seed %d seg %d offset %#x out of window", seed, s, off)
+			}
+		}
+	}
+}
+
+func TestHWProcessLayoutsDiffer(t *testing.T) {
+	k := newKernel(t, ModeBabelFish)
+	g := k.NewGroup("app", 5)
+	p1 := mustProc(t, k, g, "a")
+	p2 := mustProc(t, k, g, "b")
+	// Per-process seeds: at least one segment offset should differ
+	// (deterministic for these seeds).
+	if p1.procOff == p2.procOff {
+		t.Fatal("two ASLR-HW processes drew identical layouts")
+	}
+	// Yet their group VAs agree.
+	gva := segBases[SegLibs] + g.groupOff[SegLibs] + 0x5000
+	if p1.GroupVA(p1.ProcVA(gva)) != p2.GroupVA(p2.ProcVA(gva)) {
+		t.Fatal("group VA not invariant across members")
+	}
+}
+
+func TestChunkedRegion(t *testing.T) {
+	k := newKernel(t, ModeBaseline)
+	g := k.NewGroup("app", 1)
+	r := g.ChunkedRegion("ds", SegMmap, 1000, 256, 1<<30)
+	if !r.Chunked() || len(r.ChunkStarts) != 4 {
+		t.Fatalf("chunks = %d", len(r.ChunkStarts))
+	}
+	// Idempotent.
+	r2 := g.ChunkedRegion("ds", SegMmap, 1000, 256, 1<<30)
+	if r2.ChunkStarts[0] != r.ChunkStarts[0] {
+		t.Fatal("chunked region not idempotent")
+	}
+	// Page addressing: monotone within chunk, distinct PMD regions across
+	// chunks.
+	if r.PageVA(1)-r.PageVA(0) != memdefs.PageSize {
+		t.Fatal("intra-chunk stride wrong")
+	}
+	k1 := uint64(r.PageVA(255)) >> memdefs.HugePageShift2M
+	k2 := uint64(r.PageVA(256)) >> memdefs.HugePageShift2M
+	if k1 == k2 {
+		t.Fatal("chunks share a 2MB region")
+	}
+	// With 1GB gaps, chunks have distinct PUD entries too.
+	if uint64(r.PageVA(0))>>30 == uint64(r.PageVA(256))>>30 {
+		t.Fatal("chunks share a 1GB region")
+	}
+	// Bounds clamping.
+	if r.PageVA(-1) != r.PageVA(0) || r.PageVA(99999) != r.PageVA(999) {
+		t.Fatal("PageVA clamping wrong")
+	}
+}
+
+func TestRegionsNeverSharePTETables(t *testing.T) {
+	k := newKernel(t, ModeBaseline)
+	g := k.NewGroup("app", 1)
+	r1 := g.Region("a", SegHeap, 10)
+	r2 := g.Region("b", SegHeap, 10)
+	if uint64(r1.End()-1)>>memdefs.HugePageShift2M == uint64(r2.Start)>>memdefs.HugePageShift2M {
+		t.Fatal("two regions share a 2MB-aligned PTE-table range")
+	}
+}
+
+func TestRegionRedefinitionPanics(t *testing.T) {
+	k := newKernel(t, ModeBaseline)
+	g := k.NewGroup("app", 1)
+	g.Region("x", SegHeap, 10)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("redefinition accepted")
+		}
+	}()
+	g.Region("x", SegHeap, 20)
+}
+
+func TestPCIDsAndCCIDsUnique(t *testing.T) {
+	k := newKernel(t, ModeBabelFish)
+	seen := map[memdefs.PCID]bool{}
+	g1 := k.NewGroup("a", 1)
+	g2 := k.NewGroup("b", 2)
+	if g1.CCID == g2.CCID {
+		t.Fatal("duplicate CCID")
+	}
+	for i := 0; i < 20; i++ {
+		g := g1
+		if i%2 == 1 {
+			g = g2
+		}
+		p := mustProc(t, k, g, "p")
+		if seen[p.PCID] {
+			t.Fatalf("duplicate PCID %d", p.PCID)
+		}
+		seen[p.PCID] = true
+	}
+}

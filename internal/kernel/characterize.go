@@ -1,0 +1,197 @@
+package kernel
+
+import (
+	"babelfish/internal/memdefs"
+	"babelfish/internal/pgtable"
+)
+
+// Characterization is a Figure-9-style census of one group's leaf page
+// table entries, in the paper's three categories: shareable (an identical
+// {VPN, PPN, permissions} entry exists in ≥2 member processes), THP
+// (huge-page leaves, which the paper reports as unshareable), and
+// unshareable (everything else). "Active" approximates the kernel's
+// active-LRU proxy with the hardware Accessed bit; call ClearAccessed at
+// the epoch boundary.
+type Characterization struct {
+	Group string
+
+	Total           int // all present leaf instances across members
+	TotalShareable  int
+	TotalTHP        int
+	TotalUnshare    int
+	Active          int
+	ActiveShareable int
+	ActiveTHP       int
+	ActiveUnshare   int
+
+	// FusedActive is the number of active entries BabelFish needs: one
+	// per shareable key plus every unshareable/THP instance.
+	FusedActive int
+	// FusedTotal is the same census over all present entries.
+	FusedTotal int
+}
+
+// ShareablePct returns the shareable fraction of total pte_ts (the
+// paper's "53% of translations are shareable" metric).
+func (c Characterization) ShareablePct() float64 {
+	if c.Total == 0 {
+		return 0
+	}
+	return 100 * float64(c.TotalShareable) / float64(c.Total)
+}
+
+// ActiveReductionPct is the paper's "reduction in total active pte_ts
+// attained by BabelFish" metric.
+func (c Characterization) ActiveReductionPct() float64 {
+	if c.Active == 0 {
+		return 0
+	}
+	return 100 * float64(c.Active-c.FusedActive) / float64(c.Active)
+}
+
+type charKey struct {
+	vpn  memdefs.VPN
+	ppn  memdefs.PPN
+	perm pgtable.Entry
+	huge bool
+}
+
+const charPermMask = pgtable.FlagPresent | pgtable.FlagWrite | pgtable.FlagUser |
+	pgtable.FlagCoW | pgtable.FlagNX
+
+type charInst struct {
+	active bool
+	huge   bool
+}
+
+// CharacterizeGroup scans the page tables of every member of the group
+// and classifies their present leaf entries. Entries in BabelFish-shared
+// tables are visited once per member (each member's tree reaches them),
+// matching the baseline-normalized accounting of Figure 9.
+func (k *Kernel) CharacterizeGroup(g *Group) Characterization {
+	c := Characterization{Group: g.Name}
+	counts := make(map[charKey]int)
+	actives := make(map[charKey]int)
+	var insts []struct {
+		key charKey
+		charInst
+	}
+	for _, p := range g.members {
+		p.Tables.VisitLeaves(func(gva memdefs.VAddr, lvl memdefs.Level, table memdefs.PPN, idx int, e pgtable.Entry) {
+			if !e.Present() {
+				return
+			}
+			key := charKey{
+				vpn:  memdefs.PageVPN(gva),
+				ppn:  e.PPN(),
+				perm: e & charPermMask,
+				huge: e.Huge(),
+			}
+			counts[key]++
+			active := e&pgtable.FlagAccess != 0
+			if active {
+				actives[key]++
+			}
+			insts = append(insts, struct {
+				key charKey
+				charInst
+			}{key, charInst{active: active, huge: e.Huge()}})
+		})
+	}
+
+	fusedTotalSeen := make(map[charKey]bool)
+	fusedActiveSeen := make(map[charKey]bool)
+	for _, in := range insts {
+		shareable := counts[in.key] >= 2 && !in.huge
+		c.Total++
+		if in.active {
+			c.Active++
+		}
+		switch {
+		case in.huge:
+			c.TotalTHP++
+			if in.active {
+				c.ActiveTHP++
+			}
+		case shareable:
+			c.TotalShareable++
+			if in.active {
+				c.ActiveShareable++
+			}
+		default:
+			c.TotalUnshare++
+			if in.active {
+				c.ActiveUnshare++
+			}
+		}
+		// Fused accounting: shareable keys collapse to one entry.
+		if shareable {
+			if !fusedTotalSeen[in.key] {
+				fusedTotalSeen[in.key] = true
+				c.FusedTotal++
+			}
+			if in.active && !fusedActiveSeen[in.key] {
+				fusedActiveSeen[in.key] = true
+				c.FusedActive++
+			}
+		} else {
+			c.FusedTotal++
+			if in.active {
+				c.FusedActive++
+			}
+		}
+	}
+	return c
+}
+
+// ClearAccessed clears the Accessed bit on every leaf entry of every
+// member of the group (epoch boundary for the active census).
+func (k *Kernel) ClearAccessed(g *Group) {
+	for _, p := range g.members {
+		p.Tables.VisitLeaves(func(gva memdefs.VAddr, lvl memdefs.Level, table memdefs.PPN, idx int, e pgtable.Entry) {
+			if e&pgtable.FlagAccess != 0 {
+				k.Mem.WriteEntry(table, idx, uint64(e.Without(pgtable.FlagAccess)))
+			}
+		})
+	}
+}
+
+// TableCensus counts distinct table frames per level across all
+// processes (shared tables counted once) — the denominator for the
+// Section VII-D space-overhead analysis.
+func (k *Kernel) TableCensus() [memdefs.NumLevels]int {
+	var counts [memdefs.NumLevels]int
+	seen := make(map[memdefs.PPN]bool)
+	for _, p := range k.procs {
+		var rec func(table memdefs.PPN, lvl memdefs.Level)
+		rec = func(table memdefs.PPN, lvl memdefs.Level) {
+			if seen[table] {
+				return
+			}
+			seen[table] = true
+			counts[lvl]++
+			if lvl == memdefs.LvlPTE {
+				return
+			}
+			entries := k.Mem.Table(table)
+			for i := 0; i < memdefs.TableSize; i++ {
+				e := pgtable.Entry(entries[i])
+				if e.PPN() == 0 || (e.Present() && e.Huge()) {
+					continue
+				}
+				rec(e.PPN(), lvl+1)
+			}
+		}
+		rec(p.Tables.Root, memdefs.LvlPGD)
+	}
+	return counts
+}
+
+// MaskPageCount returns the number of allocated MaskPages across groups.
+func (k *Kernel) MaskPageCount() int {
+	n := 0
+	for _, g := range k.groups {
+		n += len(g.maskPages)
+	}
+	return n
+}

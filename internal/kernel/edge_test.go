@@ -1,0 +1,164 @@
+package kernel
+
+import (
+	"testing"
+
+	"babelfish/internal/memdefs"
+	"babelfish/internal/pgtable"
+	"babelfish/internal/physmem"
+)
+
+func TestMapFileBeyondFilePanics(t *testing.T) {
+	k := newKernel(t, ModeBaseline)
+	g := k.NewGroup("app", 40)
+	p := mustProc(t, k, g, "c1")
+	f := k.CreateFile("small", 4)
+	r := g.Region("big", SegMmap, 16)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mapping beyond file accepted")
+		}
+	}()
+	p.MapFile(r, f, 0, ro, true, "big")
+}
+
+func TestOverlappingVMAPanics(t *testing.T) {
+	k := newKernel(t, ModeBaseline)
+	g := k.NewGroup("app", 41)
+	p := mustProc(t, k, g, "c1")
+	r := g.Region("a", SegHeap, 8)
+	p.MapAnon(r, rw, "a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overlapping VMA accepted")
+		}
+	}()
+	sub := Region{Name: "overlap", Seg: SegHeap, Start: r.Start + memdefs.PageSize, Pages: 2}
+	p.MapAnon(sub, rw, "overlap")
+}
+
+func TestDuplicateFilePanics(t *testing.T) {
+	k := newKernel(t, ModeBaseline)
+	k.CreateFile("x", 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate file accepted")
+		}
+	}()
+	k.CreateFile("x", 8)
+}
+
+func TestHugeFileAPIMisuse(t *testing.T) {
+	k := newKernel(t, ModeBaseline)
+	hf := k.CreateHugeFile("h", 1024)
+	if _, _, err := hf.Frame(0); err == nil {
+		t.Error("Frame on huge file succeeded")
+	}
+	rf := k.CreateFile("r", 8)
+	if _, _, err := rf.HugeFrame(0); err == nil {
+		t.Error("HugeFrame on regular file succeeded")
+	}
+	if _, _, err := hf.HugeFrame(99); err == nil {
+		t.Error("out-of-range block accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unaligned huge file accepted")
+		}
+	}()
+	k.CreateHugeFile("bad", 100)
+}
+
+func TestExitIdempotentAndDeadProcessFaults(t *testing.T) {
+	k := newKernel(t, ModeBabelFish)
+	g := k.NewGroup("app", 42)
+	p := mustProc(t, k, g, "c1")
+	r := g.Region("x", SegHeap, 8)
+	p.MapAnon(r, rw, "x")
+	mustFault(t, k, p, r.Start, true)
+	pid := p.PID
+	p.Exit()
+	p.Exit() // idempotent
+	if !p.Dead() {
+		t.Fatal("not dead")
+	}
+	if _, err := k.HandleFault(pid, 0x1000, false, memdefs.AccessData); err == nil {
+		t.Fatal("fault on exited pid succeeded")
+	}
+	if _, err := p.Unmap(p.vmas[0]); err == nil {
+		t.Fatal("unmap on dead process succeeded")
+	}
+}
+
+func TestCharacterizationCountsHugeAsTHP(t *testing.T) {
+	cfg := DefaultConfig(ModeBabelFish)
+	cfg.THPMinPages = 512
+	k := New(physmem.New(512<<20), cfg)
+	g := k.NewGroup("app", 43)
+	p := mustProc(t, k, g, "c1")
+	r := g.Region("buf", SegHeap, 1024)
+	p.MapAnon(r, rw, "buf")
+	mustFault(t, k, p, r.Start, true)
+	c := k.CharacterizeGroup(g)
+	if c.TotalTHP != 1 {
+		t.Fatalf("THP entries = %d, want 1", c.TotalTHP)
+	}
+	if c.TotalShareable != 0 {
+		t.Fatal("huge anon counted shareable")
+	}
+	// Fused accounting never collapses THP entries.
+	if c.FusedTotal != c.Total {
+		t.Fatalf("fused %d != total %d for pure-THP census", c.FusedTotal, c.Total)
+	}
+}
+
+func TestZeroPageNeverFreed(t *testing.T) {
+	k := newKernel(t, ModeBaseline)
+	g := k.NewGroup("app", 44)
+	p := mustProc(t, k, g, "c1")
+	r := g.Region("x", SegHeap, 8)
+	p.MapAnon(r, rw, "x")
+	for i := 0; i < 8; i++ {
+		mustFault(t, k, p, r.PageVA(i), false) // all map the zero page
+	}
+	p.Exit()
+	if k.Mem.Kind(k.zeroPPN) == physmem.FrameFree {
+		t.Fatal("zero page freed")
+	}
+	if k.Mem.Refs(k.zeroPPN) != 1 {
+		t.Fatalf("zero page refs = %d, want 1", k.Mem.Refs(k.zeroPPN))
+	}
+}
+
+func TestSetPMDORPCIdempotent(t *testing.T) {
+	k := newKernel(t, ModeBabelFish)
+	g := k.NewGroup("app", 45)
+	p := mustProc(t, k, g, "c1")
+	f := k.CreateFile("x", 8)
+	r := g.Region("x", SegMmap, 8)
+	p.MapFile(r, f, 0, ro, true, "x")
+	mustFault(t, k, p, r.Start, false)
+	k.setPMDORPC(p, r.Start, true)
+	tbl := p.Tables.TableAt(r.Start, memdefs.LvlPMD)
+	e1 := pgtable.Entry(k.Mem.ReadEntry(tbl, memdefs.LvlPMD.Index(r.Start)))
+	k.setPMDORPC(p, r.Start, true) // no-op
+	e2 := pgtable.Entry(k.Mem.ReadEntry(tbl, memdefs.LvlPMD.Index(r.Start)))
+	if e1 != e2 || !e2.ORPC() {
+		t.Fatal("ORPC setting not idempotent")
+	}
+	k.setPMDORPC(p, r.Start, false)
+	e3 := pgtable.Entry(k.Mem.ReadEntry(tbl, memdefs.LvlPMD.Index(r.Start)))
+	if e3.ORPC() {
+		t.Fatal("ORPC not cleared")
+	}
+}
+
+func TestCostsDefaultsApplied(t *testing.T) {
+	k := New(physmem.New(16<<20), Config{Mode: ModeBabelFish})
+	if k.Cfg.Costs == (Costs{}) {
+		t.Fatal("zero costs not defaulted")
+	}
+	if k.Cfg.ShareLevel != memdefs.LvlPTE {
+		t.Fatalf("share level defaulted to %v", k.Cfg.ShareLevel)
+	}
+}

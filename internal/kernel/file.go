@@ -1,0 +1,205 @@
+package kernel
+
+import (
+	"fmt"
+
+	"babelfish/internal/memdefs"
+	"babelfish/internal/physmem"
+)
+
+// File is a file object with a page cache. Frames are allocated lazily on
+// first access; the page cache holds one reference per resident frame, so
+// frames are shared by every process that maps the file (the Linux
+// single-copy property of Section II-C).
+//
+// Huge files keep their page cache in 2MB blocks instead of 4KB frames
+// and can only be mapped with huge mappings.
+type File struct {
+	Name   string
+	Pages  int
+	Huge   bool
+	frames []memdefs.PPN // 0 = not resident (regular files)
+	blocks []memdefs.PPN // 0 = not resident (huge files; one per 2MB)
+	kern   *Kernel
+}
+
+// CreateFile registers a file of the given size in pages.
+func (k *Kernel) CreateFile(name string, pages int) *File {
+	if pages <= 0 {
+		panic(fmt.Sprintf("kernel: file %q with %d pages", name, pages))
+	}
+	if _, dup := k.files[name]; dup {
+		panic(fmt.Sprintf("kernel: duplicate file %q", name))
+	}
+	f := &File{Name: name, Pages: pages, frames: make([]memdefs.PPN, pages), kern: k}
+	k.files[name] = f
+	return f
+}
+
+// CreateHugeFile registers a file whose page cache is kept in 2MB blocks
+// (pages must be a multiple of 512). Used for huge file mappings that
+// exercise BabelFish's PMD-table merging.
+func (k *Kernel) CreateHugeFile(name string, pages int) *File {
+	if pages <= 0 || pages%memdefs.TableSize != 0 {
+		panic(fmt.Sprintf("kernel: huge file %q needs a multiple of 512 pages, got %d", name, pages))
+	}
+	if _, dup := k.files[name]; dup {
+		panic(fmt.Sprintf("kernel: duplicate file %q", name))
+	}
+	f := &File{Name: name, Pages: pages, Huge: true, blocks: make([]memdefs.PPN, pages/memdefs.TableSize), kern: k}
+	k.files[name] = f
+	return f
+}
+
+// HugeFrame returns the base frame of the file's idx-th 2MB block,
+// faulting it in if absent.
+func (f *File) HugeFrame(idx int) (base memdefs.PPN, major bool, err error) {
+	if !f.Huge {
+		return 0, false, fmt.Errorf("kernel: HugeFrame on regular file %q", f.Name)
+	}
+	if idx < 0 || idx >= len(f.blocks) {
+		return 0, false, fmt.Errorf("kernel: file %q block %d out of range (%d blocks)", f.Name, idx, len(f.blocks))
+	}
+	if f.blocks[idx] != 0 {
+		return f.blocks[idx], false, nil
+	}
+	base, err = f.kern.Mem.AllocBlock(physmem.FrameData)
+	if err != nil {
+		return 0, false, err
+	}
+	f.blocks[idx] = base
+	return base, true, nil
+}
+
+// LookupFile finds a file by name.
+func (k *Kernel) LookupFile(name string) (*File, bool) {
+	f, ok := k.files[name]
+	return f, ok
+}
+
+// Resident reports whether page idx is in the page cache.
+func (f *File) Resident(idx int) bool {
+	return idx >= 0 && idx < f.Pages && f.frames[idx] != 0
+}
+
+// Frame returns the frame of page idx, faulting it in (allocating) if
+// absent. major reports whether a device read was needed.
+func (f *File) Frame(idx int) (ppn memdefs.PPN, major bool, err error) {
+	if f.Huge {
+		return 0, false, fmt.Errorf("kernel: Frame on huge file %q", f.Name)
+	}
+	if idx < 0 || idx >= f.Pages {
+		return 0, false, fmt.Errorf("kernel: file %q page %d out of range (%d pages)", f.Name, idx, f.Pages)
+	}
+	if f.frames[idx] != 0 {
+		return f.frames[idx], false, nil
+	}
+	ppn, err = f.kern.allocDataFrame()
+	if err != nil {
+		return 0, false, err
+	}
+	f.frames[idx] = ppn
+	return ppn, true, nil
+}
+
+// Prefault brings the whole file into the page cache (dataset warm-up, so
+// that steady-state measurement sees no major faults).
+func (f *File) Prefault() error {
+	if f.Huge {
+		for i := range f.blocks {
+			if _, _, err := f.HugeFrame(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for i := 0; i < f.Pages; i++ {
+		if _, _, err := f.Frame(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ResidentPages counts page-cache-resident pages.
+func (f *File) ResidentPages() int {
+	n := 0
+	for _, p := range f.frames {
+		if p != 0 {
+			n++
+		}
+	}
+	for _, b := range f.blocks {
+		if b != 0 {
+			n += memdefs.TableSize
+		}
+	}
+	return n
+}
+
+// Drop evicts the whole file from the page cache (used to model cold
+// starts). Pages still mapped by processes keep their frames alive via
+// the per-entry references.
+func (f *File) Drop() {
+	for i, p := range f.frames {
+		if p != 0 {
+			f.kern.Mem.Unref(p)
+			f.frames[i] = 0
+		}
+	}
+	for i, b := range f.blocks {
+		if b != 0 {
+			f.kern.Mem.Unref(b)
+			f.blocks[i] = 0
+		}
+	}
+}
+
+// Reclaim evicts up to n clean page-cache frames that no process maps
+// (reference count 1 — only the cache holds them), oldest files first.
+// It returns the number of frames freed. The fault paths call this when
+// physical memory runs out, modelling kernel page reclaim; evicted pages
+// cost a fresh major fault on the next touch.
+func (k *Kernel) Reclaim(n int) int {
+	freed := 0
+	for _, f := range k.files {
+		if freed >= n {
+			break
+		}
+		for i, ppn := range f.frames {
+			if freed >= n {
+				break
+			}
+			if ppn != 0 && k.Mem.Refs(ppn) == 1 {
+				k.Mem.Unref(ppn)
+				f.frames[i] = 0
+				freed++
+			}
+		}
+		for i, base := range f.blocks {
+			if freed >= n {
+				break
+			}
+			if base != 0 && k.Mem.Refs(base) == 1 {
+				k.Mem.Unref(base)
+				f.blocks[i] = 0
+				freed += 512
+			}
+		}
+	}
+	k.stats.Reclaimed += uint64(freed)
+	return freed
+}
+
+// allocDataFrame allocates a data frame, reclaiming page cache under
+// memory pressure before giving up.
+func (k *Kernel) allocDataFrame() (memdefs.PPN, error) {
+	ppn, err := k.Mem.Alloc(physmem.FrameData)
+	if err == nil {
+		return ppn, nil
+	}
+	if k.Reclaim(256) == 0 {
+		return 0, err
+	}
+	return k.Mem.Alloc(physmem.FrameData)
+}

@@ -1,0 +1,104 @@
+package kernel
+
+import (
+	"testing"
+
+	"babelfish/internal/memdefs"
+)
+
+func TestProtectRevokesWrite(t *testing.T) {
+	for _, mode := range []Mode{ModeBaseline, ModeBabelFish} {
+		k := newKernel(t, mode)
+		g := k.NewGroup("app", 20)
+		p := mustProc(t, k, g, "c1")
+		r := g.Region("buf", SegHeap, 8)
+		v := p.MapAnon(r, rw, "buf")
+		mustFault(t, k, p, r.Start, true) // writable private page
+		if _, err := p.Protect(v, ro); err != nil {
+			t.Fatal(err)
+		}
+		e := leaf(t, p, r.Start)
+		if e.Writable() {
+			t.Fatalf("[%v] entry still writable after mprotect", mode)
+		}
+		// Writing now is a protection error, not a CoW break.
+		if _, err := k.HandleFault(p.PID, p.ProcVA(r.Start), true, memdefs.AccessData); err == nil {
+			t.Fatalf("[%v] write allowed after PROT_READ", mode)
+		}
+	}
+}
+
+func TestProtectGrantsWriteViaCoW(t *testing.T) {
+	k := newKernel(t, ModeBabelFish)
+	g := k.NewGroup("app", 21)
+	p1 := mustProc(t, k, g, "c1")
+	f := k.CreateFile("lib", 16)
+	r := g.Region("lib", SegLibs, 16)
+	p1.MapFile(r, f, 0, rx, true, "lib")
+	p2, _, err := k.Fork(p1, "c2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gva := r.Start
+	mustFault(t, k, p1, gva, false)
+	mustFault(t, k, p2, gva, false)
+
+	// p2 makes its copy of the library writable (a JIT patching code).
+	vma2, ok := p2.FindVMA(gva)
+	if !ok {
+		t.Fatal("vma missing")
+	}
+	if _, err := p2.Protect(vma2, rwx); err != nil {
+		t.Fatal(err)
+	}
+	// p2 leaves sharing: a PC bit and private tables.
+	shared, _ := g.SharedTableFor(gva)
+	if p2.Tables.TableAt(gva, memdefs.LvlPTE) == shared {
+		t.Fatal("p2 still on the shared table after mprotect")
+	}
+	mp := g.maskPageFor(memdefs.PageVPN(gva), false)
+	if mp == nil {
+		t.Fatal("no MaskPage")
+	}
+	if _, ok := mp.bitOf(p2.PID); !ok {
+		t.Fatal("p2 holds no PC bit after mprotect")
+	}
+	// p2's write breaks CoW into a private frame; p1 keeps the clean one.
+	mustFault(t, k, p2, gva, true)
+	e1, e2 := leaf(t, p1, gva), leaf(t, p2, gva)
+	if e1.PPN() == e2.PPN() {
+		t.Fatal("mprotect write dirtied the shared page")
+	}
+	if f.ResidentPages() == 0 || !e1.Present() {
+		t.Fatal("p1's view broken")
+	}
+	// p1 is untouched: still read-only shared.
+	if e1.Writable() {
+		t.Fatal("p1 gained write permission")
+	}
+}
+
+func TestProtectErrors(t *testing.T) {
+	k := newKernel(t, ModeBaseline)
+	g := k.NewGroup("app", 22)
+	p := mustProc(t, k, g, "c1")
+	r := g.Region("x", SegHeap, 8)
+	v := p.MapAnon(r, rw, "x")
+	other := &VMA{Name: "ghost", Start: 0x1000, End: 0x2000}
+	if _, err := p.Protect(other, ro); err == nil {
+		t.Fatal("mprotect of unmapped VMA succeeded")
+	}
+	_ = v
+	cfg := DefaultConfig(ModeBaseline)
+	cfg.THPMinPages = 512
+	k2 := New(k.Mem, cfg)
+	g2 := k2.NewGroup("app2", 23)
+	p2 := mustProc(t, k2, g2, "c2")
+	rh := g2.Region("huge", SegHeap, 1024)
+	vh := p2.MapAnon(rh, rw, "huge")
+	if vh.Huge {
+		if _, err := p2.Protect(vh, ro); err == nil {
+			t.Fatal("mprotect on huge VMA succeeded")
+		}
+	}
+}

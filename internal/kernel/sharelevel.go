@@ -1,0 +1,195 @@
+package kernel
+
+import (
+	"fmt"
+
+	"babelfish/internal/memdefs"
+	"babelfish/internal/pgtable"
+	"babelfish/internal/physmem"
+)
+
+// Sharing at the PMD level (Section III-B: "Sharing can also occur at
+// other levels. For example, it can occur at the PMD level — i.e.,
+// entries in multiple PUD tables point to the base of the same PMD
+// table. In this case, multiple processes can share the mapping of
+// 512×512 4KB pages").
+//
+// With Config.ShareLevel == LvlPMD, group members link whole PMD tables
+// (1GB of mappings) instead of individual PTE tables. PTE tables
+// allocated under a shared PMD are implicitly shared. A CoW writer
+// privatizes both levels: a private copy of the PMD table plus a private
+// O-tagged copy of the written region's PTE table.
+
+// pmdTableFor is pteTableFor's counterpart for ShareLevel == LvlPMD: it
+// returns the PTE table the process should use, routing through the
+// group-shared PMD table.
+func (k *Kernel) pmdTableFor(p *Process, gva memdefs.VAddr) (table memdefs.PPN, isShared, linked bool, cycles memdefs.Cycles, err error) {
+	g := p.Group
+	key := regionKey1G(gva)
+	sharedPMD, has := g.sharedPMD[key]
+	cur := p.Tables.TableAt(gva, memdefs.LvlPMD)
+
+	switch {
+	case cur == 0 && has:
+		if err = p.Tables.LinkTable(gva, memdefs.LvlPUD, sharedPMD); err != nil {
+			return 0, false, false, 0, err
+		}
+		k.stats.LinkFaults++
+		cycles += k.Cfg.Costs.LinkTables
+		cur = sharedPMD
+		linked = true
+	case cur == 0:
+		cur, err = p.Tables.EnsureTable(gva, memdefs.LvlPMD)
+		if err != nil {
+			return 0, false, false, 0, err
+		}
+		k.Mem.Ref(cur)
+		g.sharedPMD[key] = cur
+		sharedPMD, has = cur, true
+	}
+
+	if has && cur == sharedPMD {
+		// Shared path: the PTE table lives inside the shared PMD.
+		idx := memdefs.LvlPMD.Index(gva)
+		e := pgtable.Entry(k.Mem.ReadEntry(cur, idx))
+		if e.PPN() == 0 {
+			child, err := k.Mem.Alloc(physmem.FrameTable)
+			if err != nil {
+				return 0, false, false, cycles, err
+			}
+			k.Mem.WriteEntry(cur, idx, uint64(pgtable.MakeEntry(child,
+				pgtable.FlagPresent|pgtable.FlagWrite|pgtable.FlagUser)))
+			return child, true, linked, cycles, nil
+		}
+		if e.Huge() {
+			return 0, false, false, cycles, errHugeUnderSharedPMD
+		}
+		return e.PPN(), true, linked, cycles, nil
+	}
+
+	// Diverged: private PMD; ensure a private PTE table under it.
+	table, err = p.Tables.EnsureTable(gva, memdefs.LvlPTE)
+	return table, false, false, cycles, err
+}
+
+// errHugeUnderSharedPMD rejects mixing 4KB demand paging into a 2MB
+// region that a shared PMD table already maps with a huge leaf.
+var errHugeUnderSharedPMD = fmt.Errorf("kernel: 4KB fault under a huge-mapped entry of a shared PMD table")
+
+// privatizePMD gives the process its own copy of the group's shared PMD
+// table for gva's 1GB region (referencing all child PTE tables), rewiring
+// its PUD entry. Returns the private PMD table.
+func (k *Kernel) privatizePMD(p *Process, gva memdefs.VAddr) (memdefs.PPN, memdefs.Cycles, error) {
+	g := p.Group
+	key := regionKey1G(gva)
+	sharedPMD, has := g.sharedPMD[key]
+	cur := p.Tables.TableAt(gva, memdefs.LvlPMD)
+	if !has || cur != sharedPMD {
+		return cur, 0, nil // already private (or never shared)
+	}
+	newPMD, err := k.Mem.Alloc(physmem.FrameTable)
+	if err != nil {
+		return 0, 0, err
+	}
+	src := k.Mem.Table(sharedPMD)
+	dst := k.Mem.Table(newPMD)
+	for i := 0; i < memdefs.TableSize; i++ {
+		e := pgtable.Entry(src[i])
+		if e.PPN() == 0 {
+			continue
+		}
+		dst[i] = src[i]
+		// The copy references the same children: PTE tables (or huge
+		// data blocks).
+		k.Mem.Ref(e.PPN())
+	}
+	pudTable, err := p.Tables.EnsureTable(gva, memdefs.LvlPUD)
+	if err != nil {
+		k.Mem.Unref(newPMD)
+		return 0, 0, err
+	}
+	pudIdx := memdefs.LvlPUD.Index(gva)
+	k.Mem.WriteEntry(pudTable, pudIdx, uint64(pgtable.MakeEntry(newPMD,
+		pgtable.FlagPresent|pgtable.FlagWrite|pgtable.FlagUser)))
+	k.invalidatePWC(memdefs.LvlPUD, entryAddrOf(pudTable, pudIdx))
+	k.Mem.Unref(sharedPMD)
+	return newPMD, k.Cfg.Costs.PTEPageCopy, nil
+}
+
+// ensureOwnedTablePMD is the CoW event under PMD-level sharing: assign
+// the PC bit, set ORPC in the (single, shared or private) pmd_t, then
+// privatize the PMD table and the written region's PTE table.
+func (k *Kernel) ensureOwnedTablePMD(p *Process, gva memdefs.VAddr) (memdefs.Cycles, memdefs.PPN, error) {
+	var cycles memdefs.Cycles
+
+	reverted, c, err := k.assignPCBit(p, gva)
+	cycles += c
+	if err != nil {
+		return cycles, 0, err
+	}
+	if reverted {
+		tbl, err := p.Tables.EnsureTable(gva, memdefs.LvlPTE)
+		return cycles, tbl, err
+	}
+
+	// Privatize the PMD, then the written region's PTE table.
+	pmd, c, err := k.privatizePMD(p, gva)
+	cycles += c
+	if err != nil {
+		return cycles, 0, err
+	}
+	idx := memdefs.LvlPMD.Index(gva)
+	e := pgtable.Entry(k.Mem.ReadEntry(pmd, idx))
+	newTbl, err := k.Mem.Alloc(physmem.FrameTable)
+	if err != nil {
+		return cycles, 0, err
+	}
+	if e.PPN() != 0 && !e.Huge() {
+		src := k.Mem.Table(e.PPN())
+		dst := k.Mem.Table(newTbl)
+		for i := 0; i < memdefs.TableSize; i++ {
+			ee := pgtable.Entry(src[i])
+			if ee.PPN() == 0 && !ee.Present() {
+				continue
+			}
+			dst[i] = uint64(ee.With(pgtable.FlagOwned))
+			if ee.Present() && ee.PPN() != 0 {
+				k.Mem.Ref(ee.PPN())
+			}
+		}
+		cycles += k.Cfg.Costs.PTEPageCopy
+		k.stats.PTEPageCopies++
+	}
+	k.Mem.WriteEntry(pmd, idx, uint64(pgtable.MakeEntry(newTbl,
+		pgtable.FlagPresent|pgtable.FlagWrite|pgtable.FlagUser|pgtable.FlagORPC)))
+	k.invalidatePWC(memdefs.LvlPMD, entryAddrOf(pmd, idx))
+	if e.PPN() != 0 && !e.Huge() {
+		k.Mem.Unref(e.PPN())
+	}
+	return cycles, newTbl, nil
+}
+
+// releaseSharedTableAtLevel releases a registry reference on a shared
+// table whose entries are at the given level, recursing into child
+// tables when it is the last reference.
+func (k *Kernel) releaseSharedTableAtLevel(tbl memdefs.PPN, lvl memdefs.Level) {
+	if k.Mem.Refs(tbl) > 1 {
+		k.Mem.Unref(tbl)
+		return
+	}
+	entries := k.Mem.Table(tbl)
+	for i := 0; i < memdefs.TableSize; i++ {
+		e := pgtable.Entry(entries[i])
+		if e.PPN() == 0 {
+			continue
+		}
+		if lvl == memdefs.LvlPTE || (e.Present() && e.Huge()) {
+			if e.Present() {
+				k.Mem.Unref(e.PPN())
+			}
+			continue
+		}
+		k.releaseSharedTableAtLevel(e.PPN(), lvl+1)
+	}
+	k.Mem.Unref(tbl)
+}

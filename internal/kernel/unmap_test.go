@@ -1,0 +1,168 @@
+package kernel
+
+import (
+	"testing"
+
+	"babelfish/internal/memdefs"
+	"babelfish/internal/physmem"
+)
+
+func TestUnmapPrivateReleasesFrames(t *testing.T) {
+	for _, mode := range []Mode{ModeBaseline, ModeBabelFish} {
+		k := newKernel(t, mode)
+		g := k.NewGroup("app", 1)
+		p := mustProc(t, k, g, "c1")
+		r := g.Region("buf", SegHeap, 16)
+		v := p.MapAnon(r, rw, "buf")
+		for i := 0; i < 16; i++ {
+			mustFault(t, k, p, r.Start+memdefs.VAddr(i)*memdefs.PageSize, true)
+		}
+		before := k.Mem.Allocated()
+		if _, err := p.Unmap(v); err != nil {
+			t.Fatal(err)
+		}
+		// 16 data frames + (for a sole-member group the table may have
+		// been the registered shared table, which survives via the
+		// registry) — private path must free the data pages at least.
+		freed := before - k.Mem.Allocated()
+		if freed < 16 {
+			t.Fatalf("[%v] freed only %d frames", mode, freed)
+		}
+		if _, ok := p.FindVMA(r.Start); ok {
+			t.Fatalf("[%v] VMA still present", mode)
+		}
+		// Faulting the region now fails (unmapped).
+		if _, err := k.HandleFault(p.PID, p.ProcVA(r.Start), false, memdefs.AccessData); err == nil {
+			t.Fatalf("[%v] fault on unmapped region succeeded", mode)
+		}
+	}
+}
+
+func TestUnmapSharedKeepsSiblings(t *testing.T) {
+	k := newKernel(t, ModeBabelFish)
+	g := k.NewGroup("app", 1)
+	p1 := mustProc(t, k, g, "c1")
+	f := k.CreateFile("sst", 32)
+	r := g.Region("sst", SegMmap, 32)
+	p1.MapFile(r, f, 0, ro, true, "sst")
+	p2, _, err := k.Fork(p1, "c2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gva := r.Start + 3*memdefs.PageSize
+	mustFault(t, k, p1, gva, false)
+	mustFault(t, k, p2, gva, false)
+
+	if _, err := p1.UnmapRegionName("sst"); err != nil {
+		t.Fatal(err)
+	}
+	// p2 still translates through the shared table.
+	if !leaf(t, p2, gva).Present() {
+		t.Fatal("sibling lost the mapping")
+	}
+	if _, ok := g.SharedTableFor(gva); !ok {
+		t.Fatal("shared table dropped while a member still uses it")
+	}
+	// p1's path is gone.
+	if p1.Tables.TableAt(gva, memdefs.LvlPTE) != 0 {
+		t.Fatal("unmapped process still linked")
+	}
+	// And p1 can remap the same region later.
+	p1.MapFile(r, f, 0, ro, true, "sst")
+	mustFault(t, k, p1, gva, false)
+	if leaf(t, p1, gva).PPN() != leaf(t, p2, gva).PPN() {
+		t.Fatal("remap diverged from page cache")
+	}
+}
+
+func TestUnmapHugeTHP(t *testing.T) {
+	cfg := DefaultConfig(ModeBabelFish)
+	cfg.THPMinPages = 512
+	k := New(physmem.New(512<<20), cfg)
+	g := k.NewGroup("app", 1)
+	p := mustProc(t, k, g, "c1")
+	r := g.Region("big", SegHeap, 1024)
+	v := p.MapAnon(r, rw, "big")
+	if !v.Huge {
+		t.Fatal("not THP")
+	}
+	mustFault(t, k, p, r.Start, true)
+	mustFault(t, k, p, r.Start+memdefs.HugePageSize2M, true)
+	blocksBefore := k.Mem.FreeBlocks()
+	if _, err := p.Unmap(v); err != nil {
+		t.Fatal(err)
+	}
+	if k.Mem.FreeBlocks() != blocksBefore+2 {
+		t.Fatalf("blocks not released: %d -> %d", blocksBefore, k.Mem.FreeBlocks())
+	}
+}
+
+func TestUnmapErrors(t *testing.T) {
+	k := newKernel(t, ModeBaseline)
+	g := k.NewGroup("app", 1)
+	p := mustProc(t, k, g, "c1")
+	if _, err := p.UnmapRegionName("nope"); err == nil {
+		t.Fatal("unmap of unknown region succeeded")
+	}
+	r := g.Region("x", SegHeap, 8)
+	v := p.MapAnon(r, rw, "x")
+	if _, err := p.Unmap(v); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Unmap(v); err == nil {
+		t.Fatal("double unmap succeeded")
+	}
+}
+
+func TestReclaimUnderPressure(t *testing.T) {
+	cfg := DefaultConfig(ModeBaseline)
+	cfg.THP = false
+	k := New(physmem.New(3<<20), cfg) // 768 frames only
+	g := k.NewGroup("app", 30)
+	p := mustProc(t, k, g, "c1")
+	f := k.CreateFile("big", 600)
+	r := g.Region("big", SegMmap, 600)
+	p.MapFile(r, f, 0, ro, true, "big")
+	// Touch the whole file, filling most of physical memory with page
+	// cache; the anonymous region below then forces eviction.
+	for i := 0; i < 600; i++ {
+		mustFault(t, k, p, r.PageVA(i), false)
+	}
+	// Unmap: frames drop to cache-only refs (reclaimable).
+	if _, err := p.UnmapRegionName("big"); err != nil {
+		t.Fatal(err)
+	}
+	rh := g.Region("heap", SegHeap, 500)
+	p.MapAnon(rh, rw, "heap")
+	for i := 0; i < 500; i++ {
+		mustFault(t, k, p, rh.PageVA(i), true)
+	}
+	if k.Stats().Reclaimed == 0 {
+		t.Fatal("no page cache reclaimed under pressure")
+	}
+	// Evicted pages are re-readable: a fresh mapping major-faults them in.
+	p.MapFile(r, f, 0, ro, true, "big")
+	before := k.Stats().MajorFaults
+	mustFault(t, k, p, r.PageVA(0), false)
+	if k.Stats().MajorFaults == before {
+		t.Log("page survived reclaim (acceptable if it was still resident)")
+	}
+}
+
+func TestResidentPages(t *testing.T) {
+	k := newKernel(t, ModeBaseline)
+	g := k.NewGroup("app", 31)
+	p := mustProc(t, k, g, "c1")
+	f := k.CreateFile("x", 16)
+	r := g.Region("x", SegMmap, 16)
+	p.MapFile(r, f, 0, ro, true, "x")
+	if p.ResidentPages() != 0 {
+		t.Fatal("rss nonzero before faults")
+	}
+	for i := 0; i < 5; i++ {
+		mustFault(t, k, p, r.PageVA(i), false)
+	}
+	if got := p.ResidentPages(); got != 5 {
+		t.Fatalf("rss = %d, want 5", got)
+	}
+}

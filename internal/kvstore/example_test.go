@@ -1,0 +1,34 @@
+package kvstore_test
+
+import (
+	"fmt"
+
+	"babelfish/internal/kvstore"
+)
+
+// A lookup's page path starts at the root and descends to the key's leaf.
+func ExampleBTree_PagePath() {
+	t, err := kvstore.NewBTree(100_000, 128, 64)
+	if err != nil {
+		panic(err)
+	}
+	path := t.PagePath(12345)
+	fmt.Println("levels:", len(path))
+	fmt.Println("root first:", path[0] == 0)
+	// Output:
+	// levels: 3
+	// root first: true
+}
+
+// LSM lookups probe bloom pages per candidate run before reading data.
+func ExampleLSM_Lookup() {
+	l, err := kvstore.NewLSM(100_000, 64, 4, 3, 10)
+	if err != nil {
+		panic(err)
+	}
+	cold := l.Lookup(500, 0) // key living in the leveled tiers
+	hot := l.Lookup(500, 1)  // key recently written into an L0 run
+	fmt.Println("hot path shorter:", len(hot) < len(cold))
+	// Output:
+	// hot path shorter: true
+}

@@ -1,0 +1,202 @@
+// Package memdefs holds the address-space constants and elementary types
+// shared by every layer of the BabelFish simulator: virtual/physical
+// addresses, page numbers, page sizes, permissions, and the identifiers
+// used to tag translations (pid, PCID, CCID).
+//
+// The layout follows x86-64 with 4-level paging: 48-bit canonical virtual
+// addresses, 4KB base pages, 2MB and 1GB huge pages, and 512-entry tables
+// at each of the four radix levels (PGD, PUD, PMD, PTE).
+package memdefs
+
+import "fmt"
+
+// Fundamental page geometry (x86-64, 4-level paging).
+const (
+	PageShift = 12             // 4KB base pages
+	PageSize  = 1 << PageShift // 4096
+	EntryBits = 9              // 512 entries per table level
+	TableSize = 1 << EntryBits // 512
+	VABits    = 48             // canonical virtual address width
+	PTEBytes  = 8              // size of one table entry
+
+	HugePageShift2M = PageShift + EntryBits   // 21
+	HugePageShift1G = PageShift + 2*EntryBits // 30
+	HugePageSize2M  = 1 << HugePageShift2M    // 2MB
+	HugePageSize1G  = 1 << HugePageShift1G    // 1GB
+)
+
+// VAddr is a virtual address.
+type VAddr uint64
+
+// PAddr is a physical address.
+type PAddr uint64
+
+// VPN is a virtual page number (VAddr >> PageShift for 4KB pages).
+type VPN uint64
+
+// PPN is a physical page number (frame number).
+type PPN uint64
+
+// Addr converts a VPN back to the base virtual address of its page.
+func (v VPN) Addr() VAddr { return VAddr(v) << PageShift }
+
+// Addr converts a PPN to the base physical address of its frame.
+func (p PPN) Addr() PAddr { return PAddr(p) << PageShift }
+
+// PageVPN extracts the 4KB-page VPN of a virtual address.
+func PageVPN(va VAddr) VPN { return VPN(va >> PageShift) }
+
+// PagePPN extracts the frame number of a physical address.
+func PagePPN(pa PAddr) PPN { return PPN(pa >> PageShift) }
+
+// PageOffset extracts the within-page offset of a virtual address.
+func PageOffset(va VAddr) uint64 { return uint64(va) & (PageSize - 1) }
+
+// Level identifies one level of the 4-level page table radix tree,
+// ordered from the root down.
+type Level int
+
+const (
+	LvlPGD    Level = iota // level 4: bits 47-39
+	LvlPUD                 // level 3: bits 38-30
+	LvlPMD                 // level 2: bits 29-21
+	LvlPTE                 // level 1: bits 20-12
+	NumLevels = 4
+)
+
+func (l Level) String() string {
+	switch l {
+	case LvlPGD:
+		return "PGD"
+	case LvlPUD:
+		return "PUD"
+	case LvlPMD:
+		return "PMD"
+	case LvlPTE:
+		return "PTE"
+	}
+	return fmt.Sprintf("Level(%d)", int(l))
+}
+
+// IndexShift returns the bit position of the 9-bit table index for a level.
+func (l Level) IndexShift() uint {
+	// PGD: 39, PUD: 30, PMD: 21, PTE: 12
+	return uint(PageShift + EntryBits*(NumLevels-1-int(l)))
+}
+
+// Index extracts the 9-bit table index of va at this level.
+func (l Level) Index(va VAddr) int {
+	return int((uint64(va) >> l.IndexShift()) & (TableSize - 1))
+}
+
+// PageSize identifiers for multi-page-size TLBs.
+type PageSizeClass int
+
+const (
+	Page4K PageSizeClass = iota
+	Page2M
+	Page1G
+	NumPageSizes
+)
+
+func (c PageSizeClass) String() string {
+	switch c {
+	case Page4K:
+		return "4KB"
+	case Page2M:
+		return "2MB"
+	case Page1G:
+		return "1GB"
+	}
+	return fmt.Sprintf("PageSizeClass(%d)", int(c))
+}
+
+// Shift returns the page-offset width of this size class.
+func (c PageSizeClass) Shift() uint {
+	switch c {
+	case Page2M:
+		return HugePageShift2M
+	case Page1G:
+		return HugePageShift1G
+	default:
+		return PageShift
+	}
+}
+
+// Bytes returns the page size in bytes.
+func (c PageSizeClass) Bytes() uint64 { return 1 << c.Shift() }
+
+// VPNOf returns the page number of va in this size class.
+func (c PageSizeClass) VPNOf(va VAddr) VPN { return VPN(uint64(va) >> c.Shift()) }
+
+// Perm is a page-permission bit set.
+type Perm uint8
+
+const (
+	PermRead Perm = 1 << iota
+	PermWrite
+	PermExec
+	PermUser
+)
+
+func (p Perm) CanRead() bool  { return p&PermRead != 0 }
+func (p Perm) CanWrite() bool { return p&PermWrite != 0 }
+func (p Perm) CanExec() bool  { return p&PermExec != 0 }
+
+func (p Perm) String() string {
+	b := []byte("---")
+	if p.CanRead() {
+		b[0] = 'r'
+	}
+	if p.CanWrite() {
+		b[1] = 'w'
+	}
+	if p.CanExec() {
+		b[2] = 'x'
+	}
+	return string(b)
+}
+
+// PID is an OS process identifier.
+type PID int
+
+// PCID is the hardware Process Context Identifier (12 bits in x86).
+type PCID uint16
+
+// CCID is BabelFish's Container Context Identifier (12 bits).
+// All containers created by a user for the same application share a CCID.
+type CCID uint16
+
+// PCIDBits and CCIDBits are the architected widths (Table I).
+const (
+	PCIDBits = 12
+	CCIDBits = 12
+	// PCBitmaskBits is the width of the PrivateCopy bitmask: at most 32
+	// processes per CCID group may hold private CoW copies (Section III-A).
+	PCBitmaskBits = 32
+)
+
+// AccessKind distinguishes instruction fetches from data accesses.
+type AccessKind int
+
+const (
+	AccessData AccessKind = iota
+	AccessInstr
+)
+
+func (k AccessKind) String() string {
+	if k == AccessInstr {
+		return "instr"
+	}
+	return "data"
+}
+
+// Access is one memory reference issued by a core.
+type Access struct {
+	VA    VAddr
+	Write bool
+	Kind  AccessKind
+}
+
+// Cycles counts simulated clock cycles.
+type Cycles uint64

@@ -1,0 +1,94 @@
+package memdefs
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddressRoundTrips(t *testing.T) {
+	f := func(raw uint64) bool {
+		va := VAddr(raw % (1 << VABits))
+		vpn := PageVPN(va)
+		if vpn.Addr() != va&^VAddr(PageSize-1) {
+			return false
+		}
+		if PageOffset(va) != uint64(va)%PageSize {
+			return false
+		}
+		pa := PAddr(raw % (1 << 40))
+		ppn := PagePPN(pa)
+		return ppn.Addr() == pa&^PAddr(PageSize-1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLevelIndexPartition(t *testing.T) {
+	// The four level indices plus the page offset must reconstruct the
+	// canonical address exactly.
+	f := func(raw uint64) bool {
+		va := VAddr(raw % (1 << VABits))
+		rebuilt := uint64(LvlPGD.Index(va))<<39 |
+			uint64(LvlPUD.Index(va))<<30 |
+			uint64(LvlPMD.Index(va))<<21 |
+			uint64(LvlPTE.Index(va))<<12 |
+			PageOffset(va)
+		return VAddr(rebuilt) == va
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLevelStringsAndShifts(t *testing.T) {
+	want := map[Level]struct {
+		name  string
+		shift uint
+	}{
+		LvlPGD: {"PGD", 39}, LvlPUD: {"PUD", 30}, LvlPMD: {"PMD", 21}, LvlPTE: {"PTE", 12},
+	}
+	for lvl, w := range want {
+		if lvl.String() != w.name {
+			t.Errorf("%v name = %q", lvl, lvl.String())
+		}
+		if lvl.IndexShift() != w.shift {
+			t.Errorf("%v shift = %d, want %d", lvl, lvl.IndexShift(), w.shift)
+		}
+	}
+}
+
+func TestPageSizeClasses(t *testing.T) {
+	if Page4K.Bytes() != 4096 || Page2M.Bytes() != 2<<20 || Page1G.Bytes() != 1<<30 {
+		t.Fatal("page sizes wrong")
+	}
+	va := VAddr(0x4000_1234_5678)
+	if Page4K.VPNOf(va) != VPN(va>>12) || Page2M.VPNOf(va) != VPN(va>>21) || Page1G.VPNOf(va) != VPN(va>>30) {
+		t.Fatal("class VPNs wrong")
+	}
+	names := map[PageSizeClass]string{Page4K: "4KB", Page2M: "2MB", Page1G: "1GB"}
+	for c, n := range names {
+		if c.String() != n {
+			t.Errorf("%v name %q", c, c.String())
+		}
+	}
+}
+
+func TestPermSemantics(t *testing.T) {
+	p := PermRead | PermExec
+	if !p.CanRead() || p.CanWrite() || !p.CanExec() {
+		t.Fatal("perm bits wrong")
+	}
+	if p.String() != "r-x" {
+		t.Fatalf("perm string %q", p.String())
+	}
+	if (PermRead | PermWrite).String() != "rw-" {
+		t.Fatal("rw- string wrong")
+	}
+}
+
+func TestAccessKindStrings(t *testing.T) {
+	if AccessData.String() != "data" || AccessInstr.String() != "instr" {
+		t.Fatal("access kind strings wrong")
+	}
+}

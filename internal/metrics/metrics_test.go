@@ -1,0 +1,128 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	if h.Mean() != 0 || h.Percentile(95) != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+	for i := 1; i <= 100; i++ {
+		h.Add(float64(i))
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Mean(); math.Abs(got-50.5) > 1e-9 {
+		t.Fatalf("mean = %v", got)
+	}
+	if got := h.Percentile(50); got != 50 {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := h.Percentile(95); got != 95 {
+		t.Fatalf("p95 = %v", got)
+	}
+	if h.Max() != 100 || h.Min() != 1 {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramAddAfterPercentile(t *testing.T) {
+	h := NewHistogram()
+	h.Add(10)
+	h.Add(20)
+	_ = h.Percentile(50) // sorts
+	h.Add(5)
+	if got := h.Percentile(0); got != 5 {
+		t.Fatalf("min after late add = %v", got)
+	}
+}
+
+func TestHistogramMergeReset(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	a.Add(1)
+	b.Add(3)
+	a.Merge(b)
+	if a.Count() != 2 || a.Mean() != 2 {
+		t.Fatalf("merge: count=%d mean=%v", a.Count(), a.Mean())
+	}
+	a.Reset()
+	if a.Count() != 0 || a.Mean() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestPercentileInvariantsQuick(t *testing.T) {
+	f := func(vals []float64) bool {
+		h := NewHistogram()
+		ok := true
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			// Latencies are cycle counts: keep inputs in a physical range
+			// (the running sum is not built for ±1e308 extremes).
+			h.Add(math.Mod(v, 1e12))
+		}
+		if h.Count() == 0 {
+			return true
+		}
+		// Percentiles are monotone and bounded by min/max.
+		prev := h.Percentile(0)
+		for p := 10.0; p <= 100; p += 10 {
+			cur := h.Percentile(p)
+			if cur < prev {
+				ok = false
+			}
+			prev = cur
+		}
+		// Mean lies within [min, max] up to float-summation slack.
+		slack := 1e-9 * (math.Abs(h.Min()) + math.Abs(h.Max()) + 1)
+		return ok && h.Min()-slack <= h.Mean() && h.Mean() <= h.Max()+slack
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMPKIAndReduction(t *testing.T) {
+	if got := MPKI(50, 10000); got != 5 {
+		t.Fatalf("MPKI = %v", got)
+	}
+	if got := MPKI(50, 0); got != 0 {
+		t.Fatalf("MPKI div0 = %v", got)
+	}
+	if got := ReductionPct(200, 150); got != 25 {
+		t.Fatalf("reduction = %v", got)
+	}
+	if got := ReductionPct(0, 10); got != 0 {
+		t.Fatalf("reduction div0 = %v", got)
+	}
+	if got := Ratio(1, 0); got != 0 {
+		t.Fatalf("ratio div0 = %v", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.Row("alpha", 42)
+	tb.Row("b", 3.14159)
+	out := tb.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "alpha") {
+		t.Fatalf("table output missing content:\n%s", out)
+	}
+	if !strings.Contains(out, "3.14") {
+		t.Fatalf("float not formatted:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // title, header, rule, 2 rows -> 5? title+header+rule+2 = 5
+		if len(lines) != 5 {
+			t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+		}
+	}
+}

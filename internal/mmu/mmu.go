@@ -1,0 +1,516 @@
+// Package mmu composes one core's address-translation machinery: L1 I/D
+// TLB groups, the unified L2 TLB group, the ASLR-HW address transform, the
+// page-walk cache, and the hardware page walker that issues physical
+// accesses into the cache hierarchy and raises page faults to the OS.
+//
+// The translation flow follows Section IV-A and Figure 7 of the paper:
+//
+//	L1 TLB (1 cycle, process VA) → [ASLR transform, 2 cycles] →
+//	L2 TLB (10/12 cycles, group VA) → page walk (PWC + cache hierarchy)
+//
+// Under BabelFish with ASLR-HW (the paper's evaluated default) the L1 TLBs
+// are conventional per-process structures and sharing begins at the L2.
+package mmu
+
+import (
+	"errors"
+	"fmt"
+
+	"babelfish/internal/cache"
+	"babelfish/internal/memdefs"
+	"babelfish/internal/pgtable"
+	"babelfish/internal/physmem"
+	"babelfish/internal/pwc"
+	"babelfish/internal/tlb"
+)
+
+// OS is the kernel-side fault handler the MMU invokes when translation
+// fails (non-present entry, CoW write, missing table). It must repair the
+// page tables (and perform any shootdowns) so that a retried walk makes
+// progress, and report the kernel cycles consumed.
+type OS interface {
+	HandleFault(pid memdefs.PID, va memdefs.VAddr, write bool, kind memdefs.AccessKind) (memdefs.Cycles, error)
+}
+
+// Ctx is the per-process translation context loaded on a context switch
+// (CR3, PCID and, with BabelFish, the CCID register and ASLR offsets).
+type Ctx struct {
+	PID    memdefs.PID
+	PCID   memdefs.PCID
+	CCID   memdefs.CCID
+	Tables *pgtable.Tables
+
+	// SharedVA maps a process virtual address to the CCID group's shared
+	// virtual address (the ASLR-HW diff_i_offset adder). nil = identity.
+	SharedVA func(memdefs.VAddr) memdefs.VAddr
+
+	// PCBit returns the process's bit index in the PC bitmask for the
+	// region containing vpn (from the MaskPage pid_list), if any.
+	PCBit func(memdefs.VPN) (int, bool)
+
+	// PCMask returns the current PC bitmask for vpn's page (0 if none).
+	PCMask func(memdefs.VPN) uint32
+}
+
+// Config selects the architecture variant.
+type Config struct {
+	// BabelFish enables CCID-tagged sharing at the L2 TLB and O-PC logic.
+	BabelFish bool
+	// ASLRHW models the hardware ASLR configuration: the L1 TLBs stay
+	// per-process and every L1 miss pays the address transform.
+	ASLRHW bool
+	// ASLRXformCycles is the transform latency on an L1 miss (Table I: 2).
+	ASLRXformCycles memdefs.Cycles
+	// LargerL2 grows the conventional L2 TLB instead of adding BabelFish
+	// bits (the §VII-C comparison). Only meaningful with BabelFish=false.
+	LargerL2 bool
+}
+
+// Stats aggregates per-MMU translation counters.
+type Stats struct {
+	Translations uint64
+	L1Hits       uint64
+	L2Hits       uint64
+	L2Misses     uint64
+	Walks        uint64
+	Faults       uint64
+	FaultCycles  memdefs.Cycles
+	TotalCycles  memdefs.Cycles
+
+	// Split by access kind for the paper's D/I MPKI plots (Figure 10a).
+	L2MissData    uint64
+	L2MissInstr   uint64
+	L2HitData     uint64
+	L2HitInstr    uint64
+	L2SharedData  uint64 // L2 hits on entries filled by another process
+	L2SharedInstr uint64
+
+	// Where walk memory requests were served.
+	WalkReqL2, WalkReqL3, WalkReqMem, WalkReqPWC uint64
+}
+
+// MMU is one core's translation unit.
+type MMU struct {
+	cfg  Config
+	L1D  *tlb.Group
+	L1I  *tlb.Group
+	L2   *tlb.Group
+	PWC  *pwc.PWC
+	Mem  *physmem.Memory
+	Hier *cache.Hierarchy
+	OS   OS
+
+	stats Stats
+}
+
+// New builds an MMU with Table I structures for the given configuration.
+func New(cfg Config, mem *physmem.Memory, hier *cache.Hierarchy, os OS) *MMU {
+	l1Mode, l2Mode := tlb.TagPCID, tlb.TagPCID
+	if cfg.BabelFish {
+		l2Mode = tlb.TagCCID
+		if !cfg.ASLRHW {
+			// ASLR-SW: group members share a layout, so even the L1 may
+			// share entries.
+			l1Mode = tlb.TagCCID
+		}
+	}
+	if cfg.ASLRXformCycles == 0 {
+		cfg.ASLRXformCycles = 2
+	}
+	return &MMU{
+		cfg:  cfg,
+		L1D:  tlb.NewGroup(tlb.L1DConfig(l1Mode)),
+		L1I:  tlb.NewGroup(tlb.L1IConfig(l1Mode)),
+		L2:   tlb.NewGroup(tlb.L2Config(l2Mode, cfg.LargerL2 && !cfg.BabelFish)),
+		PWC:  pwc.New(pwc.DefaultConfig()),
+		Mem:  mem,
+		Hier: hier,
+		OS:   os,
+	}
+}
+
+// Config returns the MMU's configuration.
+func (m *MMU) Config() Config { return m.cfg }
+
+// Stats returns a copy of the counters.
+func (m *MMU) Stats() Stats { return m.stats }
+
+// ResetStats zeroes MMU, TLB and PWC counters (warm-up boundary).
+func (m *MMU) ResetStats() {
+	m.stats = Stats{}
+	m.L1D.ResetStats()
+	m.L1I.ResetStats()
+	m.L2.ResetStats()
+	m.PWC.ResetStats()
+}
+
+// Errors surfaced by translation.
+var (
+	ErrProtection = errors.New("mmu: protection violation")
+	ErrRetries    = errors.New("mmu: fault retry limit exceeded")
+)
+
+const maxRetries = 16
+
+// Info describes how one translation was resolved (for tracing/tests).
+type Info struct {
+	Level      string // "L1", "L2", "walk"
+	Faults     int
+	SharedL2   bool
+	Size       memdefs.PageSizeClass
+	WalkMemAcc int
+}
+
+// Translate resolves va for the given context, charging all latency and
+// invoking the OS on faults. It returns the physical frame and the cycles
+// consumed by translation (not including the subsequent data access).
+func (m *MMU) Translate(ctx *Ctx, va memdefs.VAddr, write bool, kind memdefs.AccessKind) (memdefs.PPN, memdefs.Cycles, Info, error) {
+	m.stats.Translations++
+	var cycles memdefs.Cycles
+	info := Info{}
+
+	l1 := m.L1D
+	if kind == memdefs.AccessInstr {
+		l1 = m.L1I
+	}
+
+	for retry := 0; retry < maxRetries; retry++ {
+		// --- L1 TLB, probed with the process virtual address.
+		q := tlb.Lookup{
+			Write: write,
+			Exec:  kind == memdefs.AccessInstr,
+			PCID:  ctx.PCID,
+			CCID:  ctx.CCID,
+			PID:   ctx.PID,
+			PCBit: ctx.PCBit,
+		}
+		r1 := l1.Lookup(va, q)
+		cycles += r1.Lat
+		switch r1.Res {
+		case tlb.Hit:
+			m.stats.L1Hits++
+			m.stats.TotalCycles += cycles
+			info.Level = "L1"
+			info.Size = r1.Size
+			return m.ppnFor(r1.Entry, r1.Size, va), cycles, info, nil
+		case tlb.HitCoWFault:
+			// The entry is stale by definition (a write through it can
+			// never succeed); drop the local translations so the retry
+			// makes progress even if the kernel's shootdown misses this
+			// core. The L2 holds the same stale mapping under the shared
+			// (group) address.
+			l1.InvalidateVA(va)
+			if ctx.SharedVA != nil {
+				m.L2.InvalidateVA(ctx.SharedVA(va))
+			} else {
+				m.L2.InvalidateVA(va)
+			}
+			fc, err := m.fault(ctx, va, write, kind, &info)
+			cycles += fc
+			if err != nil {
+				return 0, cycles, info, err
+			}
+			continue
+		case tlb.HitProtFault:
+			return 0, cycles, info, fmt.Errorf("%w: pid %d va %#x write=%v kind=%v (L1)", ErrProtection, ctx.PID, va, write, kind)
+		}
+
+		// --- ASLR-HW transform between L1 and L2 TLBs.
+		sva := va
+		if ctx.SharedVA != nil {
+			sva = ctx.SharedVA(va)
+			if m.cfg.BabelFish && m.cfg.ASLRHW {
+				cycles += m.cfg.ASLRXformCycles
+			}
+		}
+
+		// --- L2 TLB, probed with the group's shared virtual address.
+		r2 := m.L2.Lookup(sva, q)
+		cycles += r2.Lat
+		switch r2.Res {
+		case tlb.Hit:
+			m.stats.L2Hits++
+			shared := r2.Entry.BroughtBy != ctx.PID
+			if kind == memdefs.AccessInstr {
+				m.stats.L2HitInstr++
+				if shared {
+					m.stats.L2SharedInstr++
+				}
+			} else {
+				m.stats.L2HitData++
+				if shared {
+					m.stats.L2SharedData++
+				}
+			}
+			info.Level = "L2"
+			info.SharedL2 = shared
+			info.Size = r2.Size
+			m.fillL1(l1, ctx, va, r2.Size, r2.Entry)
+			m.stats.TotalCycles += cycles
+			return m.ppnFor(r2.Entry, r2.Size, va), cycles, info, nil
+		case tlb.HitCoWFault:
+			m.L2.InvalidateSharedVA(sva, ctx.CCID)
+			m.L2.InvalidateVA(sva)
+			fc, err := m.fault(ctx, va, write, kind, &info)
+			cycles += fc
+			if err != nil {
+				return 0, cycles, info, err
+			}
+			continue
+		case tlb.HitProtFault:
+			return 0, cycles, info, fmt.Errorf("%w: pid %d va %#x write=%v kind=%v (L2)", ErrProtection, ctx.PID, va, write, kind)
+		}
+		m.stats.L2Misses++
+		if kind == memdefs.AccessInstr {
+			m.stats.L2MissInstr++
+		} else {
+			m.stats.L2MissData++
+		}
+
+		// --- Hardware page walk.
+		ppn, wc, ok, err := m.walk(ctx, l1, va, sva, write, kind, &info)
+		cycles += wc
+		if err != nil {
+			return 0, cycles, info, err
+		}
+		if ok {
+			info.Level = "walk"
+			m.stats.TotalCycles += cycles
+			return ppn, cycles, info, nil
+		}
+		// A fault was handled during the walk; retry from the top.
+	}
+	return 0, cycles, info, fmt.Errorf("%w: pid %d va %#x", ErrRetries, ctx.PID, va)
+}
+
+// fault invokes the OS handler and accounts it.
+func (m *MMU) fault(ctx *Ctx, va memdefs.VAddr, write bool, kind memdefs.AccessKind, info *Info) (memdefs.Cycles, error) {
+	m.stats.Faults++
+	info.Faults++
+	fc, err := m.OS.HandleFault(ctx.PID, va, write, kind)
+	m.stats.FaultCycles += fc
+	return fc, err
+}
+
+// walk performs the 4-level hardware walk for sva on ctx's tables. It
+// returns ok=false (with no error) when a fault was taken and handled, in
+// which case the caller retries the full translation.
+func (m *MMU) walk(ctx *Ctx, l1 *tlb.Group, va, sva memdefs.VAddr, write bool, kind memdefs.AccessKind, info *Info) (memdefs.PPN, memdefs.Cycles, bool, error) {
+	m.stats.Walks++
+	var cycles memdefs.Cycles
+	table := ctx.Tables.Root
+	var leaf pgtable.Entry
+	var leafLvl memdefs.Level
+	var pmdEntry pgtable.Entry
+	var leafTable memdefs.PPN
+	var leafIdx int
+
+	for lvl := memdefs.LvlPGD; ; lvl++ {
+		idx := lvl.Index(sva)
+		entryAddr := physmem.EntryAddr(table, idx)
+		var e pgtable.Entry
+		if pwc.Caches(lvl) {
+			val, hit, plat := m.PWC.Lookup(lvl, entryAddr)
+			cycles += plat
+			if hit {
+				m.stats.WalkReqPWC++
+				e = pgtable.Entry(val)
+			} else {
+				clat, where := m.Hier.Walker(entryAddr, false)
+				cycles += clat
+				info.WalkMemAcc++
+				m.countWalkWhere(where)
+				e = pgtable.Entry(m.Mem.ReadEntry(table, idx))
+				// Only present non-leaf entries are cached: a real PWC
+				// never holds invalid entries, and huge-page leaves are
+				// the TLB's job.
+				if e.Present() && !e.Huge() {
+					m.PWC.Insert(lvl, entryAddr, uint64(e))
+				}
+			}
+		} else {
+			clat, where := m.Hier.Walker(entryAddr, false)
+			cycles += clat
+			info.WalkMemAcc++
+			m.countWalkWhere(where)
+			e = pgtable.Entry(m.Mem.ReadEntry(table, idx))
+		}
+		if lvl == memdefs.LvlPMD {
+			pmdEntry = e
+		}
+
+		if lvl == memdefs.LvlPTE || (e.Present() && e.Huge()) {
+			if !e.Present() {
+				fc, err := m.fault(ctx, va, write, kind, info)
+				cycles += fc
+				return 0, cycles, false, err
+			}
+			leaf, leafLvl, leafTable, leafIdx = e, lvl, table, idx
+			break
+		}
+		if !e.Present() || e.PPN() == 0 {
+			fc, err := m.fault(ctx, va, write, kind, info)
+			cycles += fc
+			return 0, cycles, false, err
+		}
+		table = e.PPN()
+	}
+
+	// Permission checks on the leaf.
+	if write && !leaf.Writable() {
+		if leaf.CoW() {
+			fc, err := m.fault(ctx, va, write, kind, info)
+			cycles += fc
+			return 0, cycles, false, err
+		}
+		return 0, cycles, false, fmt.Errorf("%w: pid %d write to %#x", ErrProtection, ctx.PID, va)
+	}
+	if kind == memdefs.AccessInstr && leaf.NoExec() {
+		return 0, cycles, false, fmt.Errorf("%w: pid %d exec of %#x", ErrProtection, ctx.PID, va)
+	}
+
+	// Update Accessed/Dirty bits in place, as the hardware walker does.
+	ad := pgtable.FlagAccess
+	if write {
+		ad |= pgtable.FlagDirty
+	}
+	if leaf&ad != ad {
+		leaf = leaf.With(ad)
+		m.Mem.WriteEntry(leafTable, leafIdx, uint64(leaf))
+	}
+
+	// Determine the size class and construct the TLB entries.
+	size := memdefs.Page4K
+	switch leafLvl {
+	case memdefs.LvlPMD:
+		size = memdefs.Page2M
+	case memdefs.LvlPUD:
+		size = memdefs.Page1G
+	}
+	info.Size = size
+
+	e2 := tlb.Entry{
+		VPN:       size.VPNOf(sva),
+		PPN:       leaf.PPN(),
+		Perm:      leaf.Perm(),
+		CoW:       leaf.CoW(),
+		PCID:      ctx.PCID,
+		CCID:      ctx.CCID,
+		BroughtBy: ctx.PID,
+	}
+	if m.cfg.BabelFish {
+		e2.Owned = leaf.Owned()
+		// ORPC lives in the pmd_t (Figure 5a); for 2MB huge pages the PMD
+		// entry is the leaf itself, and 1GB entries carry their own bit.
+		switch leafLvl {
+		case memdefs.LvlPTE, memdefs.LvlPMD:
+			e2.ORPC = pmdEntry.ORPC()
+		default:
+			e2.ORPC = leaf.ORPC()
+		}
+		if e2.ORPC && !e2.Owned && ctx.PCMask != nil {
+			// The hardware reads the MaskPage in parallel with the pte_t
+			// fetch (Appendix), so no extra latency is charged here.
+			e2.PCMask = ctx.PCMask(size.VPNOf(sva))
+		}
+	}
+	m.L2.Insert(size, e2)
+	m.fillL1(l1, ctx, va, size, &e2)
+
+	ppn := leaf.PPN()
+	switch size {
+	case memdefs.Page2M:
+		ppn += memdefs.PPN((uint64(va) >> memdefs.PageShift) & (memdefs.TableSize - 1))
+	case memdefs.Page1G:
+		ppn += memdefs.PPN((uint64(va) >> memdefs.PageShift) & (memdefs.TableSize*memdefs.TableSize - 1))
+	}
+	return ppn, cycles, true, nil
+}
+
+func (m *MMU) countWalkWhere(w cache.Where) {
+	switch w {
+	case cache.WhereL2:
+		m.stats.WalkReqL2++
+	case cache.WhereL3:
+		m.stats.WalkReqL3++
+	case cache.WhereMem:
+		m.stats.WalkReqMem++
+	}
+}
+
+// fillL1 installs a translation into the L1 group, tagged with the
+// process virtual page number (the L1 sits above the ASLR transform).
+func (m *MMU) fillL1(l1 *tlb.Group, ctx *Ctx, va memdefs.VAddr, size memdefs.PageSizeClass, src *tlb.Entry) {
+	e := *src
+	e.VPN = size.VPNOf(va)
+	e.BroughtBy = ctx.PID
+	if m.cfg.BabelFish && m.cfg.ASLRHW {
+		// L1 entries are private: conventional PCID tagging, no O-PC.
+		e.Owned = false
+		e.ORPC = false
+		e.PCMask = 0
+		e.MaskLoaded = false
+	}
+	e.PCID = ctx.PCID
+	l1.Insert(size, e)
+}
+
+// ppnFor applies the within-huge-page offset for L1/L2 hits.
+func (m *MMU) ppnFor(e *tlb.Entry, size memdefs.PageSizeClass, va memdefs.VAddr) memdefs.PPN {
+	switch size {
+	case memdefs.Page2M:
+		return e.PPN + memdefs.PPN((uint64(va)>>memdefs.PageShift)&(memdefs.TableSize-1))
+	case memdefs.Page1G:
+		return e.PPN + memdefs.PPN((uint64(va)>>memdefs.PageShift)&(memdefs.TableSize*memdefs.TableSize-1))
+	default:
+		return e.PPN
+	}
+}
+
+// InvalidateVA removes all translations of va from every TLB level and
+// drops stale PWC state (full per-page shootdown on this core).
+func (m *MMU) InvalidateVA(va memdefs.VAddr) {
+	m.L1D.InvalidateVA(va)
+	m.L1I.InvalidateVA(va)
+	m.L2.InvalidateVA(va)
+}
+
+// InvalidateSharedVA removes only the shared (O==0) entries for va (a
+// group VA) in the given CCID group — the paper's CoW invalidation. Only
+// the L2 TLB holds shared entries under ASLR-HW; the writer's own private
+// L1 entry is dropped by the accompanying full shootdown of its process
+// VA.
+func (m *MMU) InvalidateSharedVA(va memdefs.VAddr, ccid memdefs.CCID) {
+	m.L2.InvalidateSharedVA(va, ccid)
+	if !m.cfg.ASLRHW || !m.cfg.BabelFish {
+		m.L1D.InvalidateSharedVA(va, ccid)
+		m.L1I.InvalidateSharedVA(va, ccid)
+	}
+}
+
+// InvalidatePWCEntry drops a cached upper-level entry after the kernel
+// rewires a table pointer (e.g. the BabelFish CoW private-PTE-page swap).
+func (m *MMU) InvalidatePWCEntry(lvl memdefs.Level, entryAddr memdefs.PAddr) {
+	m.PWC.InvalidateEntry(lvl, entryAddr)
+}
+
+// FlushPCID removes one process's entries from all TLB levels (fork-time
+// CoW permission revocation) and empties the page-walk cache: the PWC is
+// keyed by physical entry addresses, so when a process's table frames are
+// unlinked or freed (munmap, exit) its cached upper-level entries cannot
+// be removed selectively and could otherwise alias reused frames.
+func (m *MMU) FlushPCID(pcid memdefs.PCID) {
+	m.L1D.FlushPCID(pcid)
+	m.L1I.FlushPCID(pcid)
+	m.L2.FlushPCID(pcid)
+	m.PWC.FlushAll()
+}
+
+// FlushAll empties all TLBs and the PWC (not used on context switches —
+// PCID/CCID tagging keeps entries live across CR3 writes).
+func (m *MMU) FlushAll() {
+	m.L1D.FlushAll()
+	m.L1I.FlushAll()
+	m.L2.FlushAll()
+	m.PWC.FlushAll()
+}

@@ -1,0 +1,29 @@
+package pgtable
+
+import (
+	"testing"
+
+	"babelfish/internal/memdefs"
+)
+
+// FuzzEntryRoundTrip: any PPN/flag combination survives encode/decode,
+// and flag mutation never corrupts the PPN.
+func FuzzEntryRoundTrip(f *testing.F) {
+	f.Add(uint64(0x1234), uint64(FlagPresent|FlagWrite))
+	f.Add(uint64(0), uint64(0))
+	f.Add(uint64(0xFFFFFFFFFF), uint64(FlagNX|FlagOwned|FlagORPC|FlagCoW|FlagPS))
+	f.Fuzz(func(t *testing.T, ppn, flags uint64) {
+		ppn &= 0xFFFFFFFFFF // 40-bit PPN space
+		e := MakeEntry(memdefs.PPN(ppn), Entry(flags))
+		if e.PPN() != memdefs.PPN(ppn) {
+			t.Fatalf("PPN mangled: %#x -> %#x", ppn, e.PPN())
+		}
+		mutated := e.With(FlagOwned | FlagORPC).Without(FlagPresent | FlagCoW)
+		if mutated.PPN() != memdefs.PPN(ppn) {
+			t.Fatal("flag mutation corrupted PPN")
+		}
+		if !mutated.Owned() || !mutated.ORPC() || mutated.Present() || mutated.CoW() {
+			t.Fatal("flag mutation wrong")
+		}
+	})
+}

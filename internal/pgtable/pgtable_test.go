@@ -1,0 +1,307 @@
+package pgtable
+
+import (
+	"testing"
+	"testing/quick"
+
+	"babelfish/internal/memdefs"
+	"babelfish/internal/physmem"
+)
+
+func newMem(t *testing.T) *physmem.Memory {
+	t.Helper()
+	return physmem.New(64 << 20) // 64MB
+}
+
+func TestEntryEncodeDecode(t *testing.T) {
+	e := MakeEntry(0x1234, FlagPresent|FlagWrite|FlagOwned|FlagORPC|FlagCoW)
+	if e.PPN() != 0x1234 {
+		t.Fatalf("PPN = %#x, want 0x1234", e.PPN())
+	}
+	if !e.Present() || !e.Writable() || !e.Owned() || !e.ORPC() || !e.CoW() {
+		t.Fatalf("flags lost: %#x", uint64(e))
+	}
+	if e.Huge() || e.NoExec() || e.User() {
+		t.Fatalf("unexpected flags set: %#x", uint64(e))
+	}
+}
+
+func TestEntryFlagRoundTripQuick(t *testing.T) {
+	f := func(ppn uint32, present, write, owned, orpc, cow, huge, nx bool) bool {
+		var flags Entry
+		if present {
+			flags |= FlagPresent
+		}
+		if write {
+			flags |= FlagWrite
+		}
+		if owned {
+			flags |= FlagOwned
+		}
+		if orpc {
+			flags |= FlagORPC
+		}
+		if cow {
+			flags |= FlagCoW
+		}
+		if huge {
+			flags |= FlagPS
+		}
+		if nx {
+			flags |= FlagNX
+		}
+		e := MakeEntry(memdefs.PPN(ppn), flags)
+		return e.PPN() == memdefs.PPN(ppn) &&
+			e.Present() == present && e.Writable() == write &&
+			e.Owned() == owned && e.ORPC() == orpc && e.CoW() == cow &&
+			e.Huge() == huge && e.NoExec() == nx
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWithWithoutPreservePPN(t *testing.T) {
+	e := MakeEntry(0xABCDE, FlagPresent)
+	e = e.With(FlagOwned | FlagORPC).Without(FlagPresent)
+	if e.PPN() != 0xABCDE {
+		t.Fatalf("PPN clobbered: %#x", e.PPN())
+	}
+	if e.Present() || !e.Owned() || !e.ORPC() {
+		t.Fatalf("flags wrong: %#x", uint64(e))
+	}
+}
+
+func TestLevelIndex(t *testing.T) {
+	// Construct an address with distinct indices at every level.
+	va := memdefs.VAddr(uint64(3)<<39 | uint64(5)<<30 | uint64(7)<<21 | uint64(9)<<12 | 0x123)
+	if got := memdefs.LvlPGD.Index(va); got != 3 {
+		t.Errorf("PGD index = %d, want 3", got)
+	}
+	if got := memdefs.LvlPUD.Index(va); got != 5 {
+		t.Errorf("PUD index = %d, want 5", got)
+	}
+	if got := memdefs.LvlPMD.Index(va); got != 7 {
+		t.Errorf("PMD index = %d, want 7", got)
+	}
+	if got := memdefs.LvlPTE.Index(va); got != 9 {
+		t.Errorf("PTE index = %d, want 9", got)
+	}
+}
+
+func TestMapAndWalk4K(t *testing.T) {
+	mem := newMem(t)
+	tbl, err := New(mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	va := memdefs.VAddr(0x7f12_3456_7000)
+	frame := mem.MustAlloc(physmem.FrameData)
+	if err := tbl.Map4K(va, frame, FlagWrite|FlagUser); err != nil {
+		t.Fatal(err)
+	}
+	res := tbl.Walk(va)
+	if !res.Complete {
+		t.Fatalf("walk incomplete: %+v", res)
+	}
+	if res.Size != memdefs.Page4K || res.LeafLevel != memdefs.LvlPTE {
+		t.Fatalf("size/level = %v/%v", res.Size, res.LeafLevel)
+	}
+	if res.Leaf.PPN() != frame {
+		t.Fatalf("leaf PPN = %d, want %d", res.Leaf.PPN(), frame)
+	}
+	if len(res.Steps) != 4 {
+		t.Fatalf("steps = %d, want 4", len(res.Steps))
+	}
+	// A nearby address sharing the PTE table must not be mapped.
+	res2 := tbl.Walk(va + memdefs.PageSize)
+	if res2.Complete {
+		t.Fatal("unmapped neighbour reported complete")
+	}
+	if res2.MissLevel != memdefs.LvlPTE {
+		t.Fatalf("neighbour miss level = %v, want PTE", res2.MissLevel)
+	}
+}
+
+func TestMapAndWalk2M(t *testing.T) {
+	mem := newMem(t)
+	tbl, err := New(mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	va := memdefs.VAddr(0x40000000) // 2MB aligned
+	base, err := mem.AllocBlock(physmem.FrameData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Map2M(va, base, FlagWrite|FlagUser); err != nil {
+		t.Fatal(err)
+	}
+	probe := va + 5*memdefs.PageSize + 17
+	res := tbl.Walk(probe)
+	if !res.Complete || res.Size != memdefs.Page2M {
+		t.Fatalf("2M walk: complete=%v size=%v", res.Complete, res.Size)
+	}
+	if got := res.PPNFor(probe); got != base+5 {
+		t.Fatalf("PPNFor = %d, want %d", got, base+5)
+	}
+	if err := tbl.Map2M(va+memdefs.PageSize, base, 0); err == nil {
+		t.Fatal("unaligned 2M map accepted")
+	}
+}
+
+func TestLinkTableSharesAndRefcounts(t *testing.T) {
+	mem := newMem(t)
+	a, _ := New(mem)
+	b, _ := New(mem)
+	va := memdefs.VAddr(0x5000_0000_0000)
+	frame := mem.MustAlloc(physmem.FrameData)
+	if err := a.Map4K(va, frame, FlagWrite); err != nil {
+		t.Fatal(err)
+	}
+	pteTbl := a.TableAt(va, memdefs.LvlPTE)
+	if pteTbl == 0 {
+		t.Fatal("no PTE table in a")
+	}
+	if got := mem.Refs(pteTbl); got != 1 {
+		t.Fatalf("refs before link = %d", got)
+	}
+	if err := b.LinkTable(va, memdefs.LvlPMD, pteTbl); err != nil {
+		t.Fatal(err)
+	}
+	if got := mem.Refs(pteTbl); got != 2 {
+		t.Fatalf("refs after link = %d", got)
+	}
+	// b must see a's mapping through the shared table.
+	res := b.Walk(va)
+	if !res.Complete || res.Leaf.PPN() != frame {
+		t.Fatalf("b walk: %+v", res)
+	}
+	// Linking again is idempotent.
+	if err := b.LinkTable(va, memdefs.LvlPMD, pteTbl); err != nil {
+		t.Fatal(err)
+	}
+	if got := mem.Refs(pteTbl); got != 2 {
+		t.Fatalf("refs after re-link = %d", got)
+	}
+	// Unlink from b: table survives for a.
+	left, err := b.UnlinkTable(va, memdefs.LvlPMD, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if left != 1 {
+		t.Fatalf("remaining refs = %d", left)
+	}
+	if res := a.Walk(va); !res.Complete {
+		t.Fatal("a lost mapping after b unlinked")
+	}
+}
+
+func TestReleaseFreesPrivateKeepsShared(t *testing.T) {
+	mem := newMem(t)
+	a, _ := New(mem)
+	b, _ := New(mem)
+	va := memdefs.VAddr(0x5000_0000_0000)
+	frame := mem.MustAlloc(physmem.FrameData)
+	mem.Ref(frame) // entry reference
+	if err := a.Map4K(va, frame, FlagWrite); err != nil {
+		t.Fatal(err)
+	}
+	pteTbl := a.TableAt(va, memdefs.LvlPTE)
+	if err := b.LinkTable(va, memdefs.LvlPMD, pteTbl); err != nil {
+		t.Fatal(err)
+	}
+	before := mem.Allocated()
+	released := 0
+	a.Release(func(e Entry) {
+		if e.Present() {
+			mem.Unref(e.PPN())
+			released++
+		}
+	})
+	if released != 0 {
+		t.Fatalf("released %d data pages while table still shared", released)
+	}
+	if res := b.Walk(va); !res.Complete {
+		t.Fatal("b lost mapping after a released")
+	}
+	// a freed its PGD/PUD/PMD frames (3 frames).
+	if got := before - mem.Allocated(); got != 3 {
+		t.Fatalf("a released %d frames, want 3", got)
+	}
+	b.Release(func(e Entry) {
+		if e.Present() {
+			mem.Unref(e.PPN())
+			released++
+		}
+	})
+	if released != 1 {
+		t.Fatalf("released %d data pages after both exits, want 1", released)
+	}
+	if mem.Refs(frame) != 1 {
+		t.Fatalf("frame refs = %d, want 1 (creator ref)", mem.Refs(frame))
+	}
+}
+
+func TestVisitLeaves(t *testing.T) {
+	mem := newMem(t)
+	tbl, _ := New(mem)
+	vas := []memdefs.VAddr{0x1000, 0x2000, 0x40000000, 0x7f00_0000_0000}
+	for _, va := range vas {
+		if err := tbl.Map4K(va, mem.MustAlloc(physmem.FrameData), FlagUser); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := map[memdefs.VAddr]bool{}
+	tbl.VisitLeaves(func(va memdefs.VAddr, lvl memdefs.Level, table memdefs.PPN, idx int, e Entry) {
+		if lvl != memdefs.LvlPTE {
+			t.Errorf("unexpected leaf level %v at %#x", lvl, va)
+		}
+		seen[va] = true
+	})
+	for _, va := range vas {
+		if !seen[va] {
+			t.Errorf("leaf at %#x not visited", va)
+		}
+	}
+	if len(seen) != len(vas) {
+		t.Errorf("visited %d leaves, want %d", len(seen), len(vas))
+	}
+}
+
+func TestEnsureTableBlockedByHuge(t *testing.T) {
+	mem := newMem(t)
+	tbl, _ := New(mem)
+	va := memdefs.VAddr(0x40000000)
+	base, err := mem.AllocBlock(physmem.FrameData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Map2M(va, base, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.EnsureTable(va+0x1000, memdefs.LvlPTE); err == nil {
+		t.Fatal("EnsureTable through a huge mapping succeeded")
+	}
+}
+
+func TestCountTables(t *testing.T) {
+	mem := newMem(t)
+	tbl, _ := New(mem)
+	if got := tbl.CountTables(); got != 1 {
+		t.Fatalf("empty tree tables = %d, want 1", got)
+	}
+	if err := tbl.Map4K(0x1000, mem.MustAlloc(physmem.FrameData), 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := tbl.CountTables(); got != 4 {
+		t.Fatalf("tables = %d, want 4", got)
+	}
+	// Same PTE table region: no new tables.
+	if err := tbl.Map4K(0x2000, mem.MustAlloc(physmem.FrameData), 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := tbl.CountTables(); got != 4 {
+		t.Fatalf("tables = %d, want 4", got)
+	}
+}

@@ -1,0 +1,280 @@
+// Package physmem models physical memory as a pool of 4KB frames.
+//
+// Only page-table frames carry real contents (their 512 eight-byte
+// entries); data frames are bookkeeping-only, since the simulator models
+// timing and sharing, not data values. The allocator hands out frame
+// numbers and tracks per-frame metadata (kind, reference count) so the
+// kernel model can implement CoW sharing and table reclamation.
+package physmem
+
+import (
+	"fmt"
+	"sync"
+
+	"babelfish/internal/memdefs"
+)
+
+// FrameKind labels what a physical frame is used for.
+type FrameKind int
+
+const (
+	FrameFree   FrameKind = iota
+	FrameData             // application/file data page
+	FrameTable            // page-table page (stores 512 entries)
+	FrameKernel           // kernel metadata (e.g. MaskPages)
+)
+
+func (k FrameKind) String() string {
+	switch k {
+	case FrameFree:
+		return "free"
+	case FrameData:
+		return "data"
+	case FrameTable:
+		return "table"
+	case FrameKernel:
+		return "kernel"
+	}
+	return fmt.Sprintf("FrameKind(%d)", int(k))
+}
+
+// Frame is the metadata of one physical frame.
+type Frame struct {
+	Kind FrameKind
+	// Refs counts users of the frame: processes mapping a data page
+	// (for CoW accounting) or parents pointing at a table page.
+	Refs int
+	// BlockPages is 512 on the base frame of a 2MB block (huge page),
+	// and 0 or 1 for ordinary frames.
+	BlockPages int
+	// Table holds the 512 entries when Kind == FrameTable.
+	Table *[memdefs.TableSize]uint64
+}
+
+// Memory is a physical memory of a fixed number of frames. A quarter of
+// the frames are reserved as 2MB-aligned blocks for huge-page allocation.
+type Memory struct {
+	mu     sync.Mutex
+	frames []Frame
+	free   []memdefs.PPN
+	blocks []memdefs.PPN // free 512-frame aligned blocks (base PPNs)
+	// Stats
+	allocated int
+	peak      int
+}
+
+// New creates a physical memory with the given capacity in bytes.
+// Frame 0 is reserved (never allocated) so that PPN 0 can mean "null".
+func New(bytes uint64) *Memory {
+	n := int(bytes / memdefs.PageSize)
+	if n < 2 {
+		n = 2
+	}
+	m := &Memory{frames: make([]Frame, n)}
+	// Reserve the top quarter (rounded to whole aligned 2MB blocks) for
+	// huge pages.
+	blockStart := n - n/4
+	blockStart = (blockStart + memdefs.TableSize - 1) &^ (memdefs.TableSize - 1)
+	for b := blockStart; b+memdefs.TableSize <= n; b += memdefs.TableSize {
+		m.blocks = append(m.blocks, memdefs.PPN(b))
+	}
+	if blockStart > n {
+		blockStart = n
+	}
+	m.free = make([]memdefs.PPN, 0, blockStart)
+	// Hand out low frame numbers first: push high PPNs so pops yield low ones.
+	for i := blockStart - 1; i >= 1; i-- {
+		m.free = append(m.free, memdefs.PPN(i))
+	}
+	return m
+}
+
+// AllocBlock allocates a 2MB-aligned block of 512 frames for a huge page,
+// returning the base frame. The base carries the block's reference count.
+func (m *Memory) AllocBlock(kind FrameKind) (memdefs.PPN, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.blocks) == 0 {
+		return 0, ErrOutOfMemory
+	}
+	base := m.blocks[len(m.blocks)-1]
+	m.blocks = m.blocks[:len(m.blocks)-1]
+	f := &m.frames[base]
+	f.Kind = kind
+	f.Refs = 1
+	f.BlockPages = memdefs.TableSize
+	for i := 1; i < memdefs.TableSize; i++ {
+		m.frames[base+memdefs.PPN(i)].Kind = kind
+	}
+	m.allocated += memdefs.TableSize
+	if m.allocated > m.peak {
+		m.peak = m.allocated
+	}
+	return base, nil
+}
+
+// FreeBlocks reports how many 2MB blocks remain free.
+func (m *Memory) FreeBlocks() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.blocks)
+}
+
+// NumFrames returns the total number of frames (including reserved frame 0).
+func (m *Memory) NumFrames() int { return len(m.frames) }
+
+// FreeFrames returns how many frames are currently unallocated.
+func (m *Memory) FreeFrames() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.free)
+}
+
+// Allocated returns how many frames are currently in use.
+func (m *Memory) Allocated() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.allocated
+}
+
+// PeakAllocated returns the high-water mark of allocated frames.
+func (m *Memory) PeakAllocated() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.peak
+}
+
+// ErrOutOfMemory is returned when no free frame exists.
+var ErrOutOfMemory = fmt.Errorf("physmem: out of physical frames")
+
+// Alloc allocates one frame of the given kind with an initial reference
+// count of 1. Table frames get a zeroed entry array.
+func (m *Memory) Alloc(kind FrameKind) (memdefs.PPN, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.free) == 0 {
+		return 0, ErrOutOfMemory
+	}
+	ppn := m.free[len(m.free)-1]
+	m.free = m.free[:len(m.free)-1]
+	f := &m.frames[ppn]
+	f.Kind = kind
+	f.Refs = 1
+	if kind == FrameTable {
+		f.Table = new([memdefs.TableSize]uint64)
+	} else {
+		f.Table = nil
+	}
+	m.allocated++
+	if m.allocated > m.peak {
+		m.peak = m.allocated
+	}
+	return ppn, nil
+}
+
+// MustAlloc is Alloc that panics on exhaustion; used by tests and setup
+// code where memory is provisioned by construction.
+func (m *Memory) MustAlloc(kind FrameKind) memdefs.PPN {
+	ppn, err := m.Alloc(kind)
+	if err != nil {
+		panic(err)
+	}
+	return ppn
+}
+
+// Get returns the metadata for a frame. The returned pointer is stable for
+// the life of the Memory.
+func (m *Memory) Get(ppn memdefs.PPN) *Frame {
+	if int(ppn) <= 0 || int(ppn) >= len(m.frames) {
+		panic(fmt.Sprintf("physmem: bad PPN %d", ppn))
+	}
+	return &m.frames[ppn]
+}
+
+// Kind reports the kind of a frame (FrameFree if out of range zero frame).
+func (m *Memory) Kind(ppn memdefs.PPN) FrameKind {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if int(ppn) <= 0 || int(ppn) >= len(m.frames) {
+		return FrameFree
+	}
+	return m.frames[ppn].Kind
+}
+
+// Ref increments the reference count of an allocated frame and returns the
+// new count.
+func (m *Memory) Ref(ppn memdefs.PPN) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := &m.frames[ppn]
+	if f.Kind == FrameFree {
+		panic(fmt.Sprintf("physmem: Ref of free frame %d", ppn))
+	}
+	f.Refs++
+	return f.Refs
+}
+
+// Refs returns the current reference count of a frame.
+func (m *Memory) Refs(ppn memdefs.PPN) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.frames[ppn].Refs
+}
+
+// Unref decrements the reference count; when it reaches zero the frame is
+// returned to the free pool. Reports the new count.
+func (m *Memory) Unref(ppn memdefs.PPN) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := &m.frames[ppn]
+	if f.Kind == FrameFree {
+		panic(fmt.Sprintf("physmem: Unref of free frame %d", ppn))
+	}
+	if f.Refs <= 0 {
+		panic(fmt.Sprintf("physmem: Unref of frame %d with refcount %d", ppn, f.Refs))
+	}
+	f.Refs--
+	if f.Refs == 0 {
+		if f.BlockPages == memdefs.TableSize {
+			for i := 0; i < memdefs.TableSize; i++ {
+				m.frames[ppn+memdefs.PPN(i)].Kind = FrameFree
+			}
+			f.BlockPages = 0
+			f.Table = nil
+			m.blocks = append(m.blocks, ppn)
+			m.allocated -= memdefs.TableSize
+			return 0
+		}
+		f.Kind = FrameFree
+		f.Table = nil
+		m.free = append(m.free, ppn)
+		m.allocated--
+		return 0
+	}
+	return f.Refs
+}
+
+// Table returns the entry array of a table frame.
+func (m *Memory) Table(ppn memdefs.PPN) *[memdefs.TableSize]uint64 {
+	f := m.Get(ppn)
+	if f.Kind != FrameTable || f.Table == nil {
+		panic(fmt.Sprintf("physmem: frame %d is not a table frame (%v)", ppn, f.Kind))
+	}
+	return f.Table
+}
+
+// ReadEntry reads the idx-th 8-byte entry of a table frame.
+func (m *Memory) ReadEntry(ppn memdefs.PPN, idx int) uint64 {
+	return m.Table(ppn)[idx]
+}
+
+// WriteEntry writes the idx-th 8-byte entry of a table frame.
+func (m *Memory) WriteEntry(ppn memdefs.PPN, idx int, v uint64) {
+	m.Table(ppn)[idx] = v
+}
+
+// EntryAddr returns the physical address of the idx-th entry of a table
+// frame — the address a hardware page walker would fetch.
+func EntryAddr(ppn memdefs.PPN, idx int) memdefs.PAddr {
+	return ppn.Addr() + memdefs.PAddr(idx*memdefs.PTEBytes)
+}

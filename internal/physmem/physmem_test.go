@@ -1,0 +1,143 @@
+package physmem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"babelfish/internal/memdefs"
+)
+
+func TestAllocUnref(t *testing.T) {
+	m := New(1 << 20) // 256 frames
+	free0 := m.FreeFrames()
+	p, err := m.Alloc(FrameData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p == 0 {
+		t.Fatal("allocated reserved frame 0")
+	}
+	if m.FreeFrames() != free0-1 || m.Allocated() != 1 {
+		t.Fatalf("accounting: free=%d alloc=%d", m.FreeFrames(), m.Allocated())
+	}
+	if m.Refs(p) != 1 {
+		t.Fatalf("refs = %d", m.Refs(p))
+	}
+	m.Ref(p)
+	if got := m.Unref(p); got != 1 {
+		t.Fatalf("after unref refs = %d", got)
+	}
+	if got := m.Unref(p); got != 0 {
+		t.Fatalf("final unref = %d", got)
+	}
+	if m.FreeFrames() != free0 || m.Allocated() != 0 {
+		t.Fatal("frame not returned to pool")
+	}
+	if m.Kind(p) != FrameFree {
+		t.Fatal("freed frame still typed")
+	}
+}
+
+func TestTableFrames(t *testing.T) {
+	m := New(1 << 20)
+	p := m.MustAlloc(FrameTable)
+	tbl := m.Table(p)
+	if tbl == nil {
+		t.Fatal("no table array")
+	}
+	m.WriteEntry(p, 5, 0xDEAD)
+	if m.ReadEntry(p, 5) != 0xDEAD {
+		t.Fatal("entry readback failed")
+	}
+	if got := EntryAddr(p, 5); got != p.Addr()+40 {
+		t.Fatalf("EntryAddr = %#x", got)
+	}
+	d := m.MustAlloc(FrameData)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Table() on data frame did not panic")
+		}
+	}()
+	m.Table(d)
+}
+
+func TestExhaustion(t *testing.T) {
+	m := New(8 * memdefs.PageSize) // tiny
+	for {
+		if _, err := m.Alloc(FrameData); err != nil {
+			if err != ErrOutOfMemory {
+				t.Fatalf("wrong error: %v", err)
+			}
+			return
+		}
+	}
+}
+
+func TestBlocks(t *testing.T) {
+	m := New(64 << 20) // 16384 frames; quarter reserved for blocks
+	if m.FreeBlocks() == 0 {
+		t.Fatal("no blocks reserved")
+	}
+	nb := m.FreeBlocks()
+	base, err := m.AllocBlock(FrameData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(base)%memdefs.TableSize != 0 {
+		t.Fatalf("block base %d not 512-aligned", base)
+	}
+	if m.FreeBlocks() != nb-1 {
+		t.Fatal("block accounting wrong")
+	}
+	if m.Get(base).BlockPages != memdefs.TableSize {
+		t.Fatal("base frame not marked as block")
+	}
+	m.Ref(base)
+	m.Unref(base)
+	if m.FreeBlocks() != nb-1 {
+		t.Fatal("block freed while referenced")
+	}
+	m.Unref(base)
+	if m.FreeBlocks() != nb {
+		t.Fatal("block not returned")
+	}
+}
+
+func TestPeakTracking(t *testing.T) {
+	m := New(1 << 20)
+	var ps []memdefs.PPN
+	for i := 0; i < 10; i++ {
+		ps = append(ps, m.MustAlloc(FrameData))
+	}
+	for _, p := range ps {
+		m.Unref(p)
+	}
+	if m.PeakAllocated() != 10 {
+		t.Fatalf("peak = %d, want 10", m.PeakAllocated())
+	}
+}
+
+func TestRefcountInvariantQuick(t *testing.T) {
+	m := New(4 << 20)
+	// Property: for any sequence of extra ref counts, after matching
+	// unrefs the frame returns to the pool exactly once.
+	f := func(extraRefs uint8) bool {
+		n := int(extraRefs % 16)
+		p, err := m.Alloc(FrameData)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			m.Ref(p)
+		}
+		for i := 0; i < n; i++ {
+			if m.Unref(p) == 0 {
+				return false // freed too early
+			}
+		}
+		return m.Unref(p) == 0 && m.Kind(p) == FrameFree
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,85 @@
+package pwc
+
+import (
+	"testing"
+
+	"babelfish/internal/memdefs"
+)
+
+func TestLookupInsert(t *testing.T) {
+	p := New(DefaultConfig())
+	addr := memdefs.PAddr(0x1000)
+	if _, hit, lat := p.Lookup(memdefs.LvlPGD, addr); hit || lat != 1 {
+		t.Fatalf("cold lookup: hit=%v lat=%d", hit, lat)
+	}
+	p.Insert(memdefs.LvlPGD, addr, 0xABC)
+	v, hit, _ := p.Lookup(memdefs.LvlPGD, addr)
+	if !hit || v != 0xABC {
+		t.Fatalf("warm lookup: hit=%v v=%#x", hit, v)
+	}
+	// Same address, different level: separate arrays.
+	if _, hit, _ := p.Lookup(memdefs.LvlPUD, addr); hit {
+		t.Fatal("cross-level hit")
+	}
+}
+
+func TestPTELevelNotCached(t *testing.T) {
+	p := New(DefaultConfig())
+	if Caches(memdefs.LvlPTE) {
+		t.Fatal("PTE level cached")
+	}
+	p.Insert(memdefs.LvlPTE, 0x2000, 1)
+	if _, hit, lat := p.Lookup(memdefs.LvlPTE, 0x2000); hit || lat != 0 {
+		t.Fatal("PTE insert/lookup not ignored")
+	}
+	if p.Stats().Accesses != 0 {
+		t.Fatal("PTE lookup counted")
+	}
+}
+
+func TestEvictionLRU(t *testing.T) {
+	p := New(Config{EntriesPerLevel: 4, Ways: 2, AccessTime: 1}) // 2 sets
+	// Addresses mapping to the same set: set = (addr>>3) & 1.
+	a0 := memdefs.PAddr(0 << 3)
+	a1 := memdefs.PAddr(2 << 3)
+	a2 := memdefs.PAddr(4 << 3)
+	p.Insert(memdefs.LvlPMD, a0, 10)
+	p.Insert(memdefs.LvlPMD, a1, 11)
+	p.Lookup(memdefs.LvlPMD, a0) // a1 becomes LRU
+	p.Insert(memdefs.LvlPMD, a2, 12)
+	if _, hit, _ := p.Lookup(memdefs.LvlPMD, a1); hit {
+		t.Fatal("LRU victim survived")
+	}
+	if _, hit, _ := p.Lookup(memdefs.LvlPMD, a0); !hit {
+		t.Fatal("MRU entry evicted")
+	}
+}
+
+func TestInvalidateEntry(t *testing.T) {
+	p := New(DefaultConfig())
+	p.Insert(memdefs.LvlPMD, 0x3000, 7)
+	p.InvalidateEntry(memdefs.LvlPMD, 0x3000)
+	if _, hit, _ := p.Lookup(memdefs.LvlPMD, 0x3000); hit {
+		t.Fatal("invalidated entry still present")
+	}
+	p.Insert(memdefs.LvlPUD, 0x3000, 7)
+	p.FlushAll()
+	if _, hit, _ := p.Lookup(memdefs.LvlPUD, 0x3000); hit {
+		t.Fatal("flushed entry still present")
+	}
+}
+
+func TestStatsByLevel(t *testing.T) {
+	p := New(DefaultConfig())
+	p.Lookup(memdefs.LvlPGD, 0x10)
+	p.Insert(memdefs.LvlPGD, 0x10, 1)
+	p.Lookup(memdefs.LvlPGD, 0x10)
+	st := p.Stats()
+	if st.ByLevel[memdefs.LvlPGD].Misses != 1 || st.ByLevel[memdefs.LvlPGD].Hits != 1 {
+		t.Fatalf("per-level stats: %+v", st.ByLevel[memdefs.LvlPGD])
+	}
+	p.ResetStats()
+	if p.Stats().Accesses != 0 {
+		t.Fatal("reset failed")
+	}
+}

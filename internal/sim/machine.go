@@ -1,0 +1,573 @@
+// Package sim assembles the full machine of Table I — 8 out-of-order
+// cores abstracted as in-order reference streams with a base CPI, each
+// with private L1 I/D caches, a private L2, L1/L2 TLB groups, a page-walk
+// cache and hardware walker, above a shared L3, a DDR memory model, and
+// the kernel — and time-multiplexes container processes on cores with a
+// 10 ms scheduling quantum, exactly the paper's conservative co-location
+// setup (2 data-serving/compute containers or 3 function containers per
+// core).
+package sim
+
+import (
+	"fmt"
+
+	"babelfish/internal/cache"
+	"babelfish/internal/dram"
+	"babelfish/internal/kernel"
+	"babelfish/internal/memdefs"
+	"babelfish/internal/metrics"
+	"babelfish/internal/mmu"
+	"babelfish/internal/physmem"
+	"babelfish/internal/trace"
+)
+
+// ReqMark labels request boundaries inside a generated access stream.
+type ReqMark int
+
+const (
+	ReqNone ReqMark = iota
+	ReqStart
+	ReqEnd
+)
+
+// Step is one unit of generated work: Think non-memory instructions
+// followed by one memory access (VA is a process virtual address).
+type Step struct {
+	VA    memdefs.VAddr
+	Write bool
+	Kind  memdefs.AccessKind
+	Think int
+	Req   ReqMark
+}
+
+// Generator produces a process's access stream. Next fills the step and
+// reports false when the process has run to completion (FaaS functions).
+type Generator interface {
+	Next(*Step) bool
+}
+
+// Params configures a machine.
+type Params struct {
+	Cores    int
+	MemBytes uint64
+	// Quantum is the scheduling timeslice in cycles (10 ms at 2 GHz in
+	// the paper; scaled down together with the workloads).
+	Quantum memdefs.Cycles
+	// CtxSwitch is the direct context-switch cost in cycles.
+	CtxSwitch memdefs.Cycles
+	// CPITenths is the base cost of a non-memory instruction in tenths
+	// of a cycle (5 = the 2-issue core's 0.5 cycles/instruction).
+	CPITenths int
+	// SMT interleaves two runnable tasks on each core instruction-by-
+	// instruction instead of time-slicing them — the paper's other
+	// co-scheduling scenario ("either in SMT mode, or due to an
+	// over-subscribed system"). The two hardware threads share the
+	// core's TLBs, PWC and caches.
+	SMT bool
+
+	MMU    mmu.Config
+	Kernel kernel.Config
+	Hier   cache.HierarchyConfig
+	L3     cache.Config
+	DRAM   dram.Config
+}
+
+// DefaultParams returns Table I's machine for the given kernel mode, with
+// the scheduling quantum scaled to simulation-friendly lengths.
+func DefaultParams(mode kernel.Mode) Params {
+	kcfg := kernel.DefaultConfig(mode)
+	return Params{
+		Cores:     8,
+		MemBytes:  4 << 30, // scaled from 32GB together with the datasets
+		Quantum:   2_000_000,
+		CtxSwitch: 2000,
+		CPITenths: 5,
+		MMU: mmu.Config{
+			BabelFish:       mode == kernel.ModeBabelFish,
+			ASLRHW:          kcfg.ASLR == kernel.ASLRHW,
+			ASLRXformCycles: 2,
+		},
+		Kernel: kcfg,
+		Hier:   cache.DefaultHierarchyConfig(),
+		L3:     cache.DefaultL3Config(),
+		DRAM:   dram.DefaultConfig(),
+	}
+}
+
+// Task is one schedulable process with its access generator.
+type Task struct {
+	Proc *kernel.Process
+	Gen  Generator
+	// Lat records request wall-clock latency (core cycles, including the
+	// time other co-scheduled containers hold the core) — the client-
+	// visible latency of data-serving requests.
+	Lat *metrics.Histogram
+	// LatOwn records the task's own cycles per request window — the
+	// execution time of run-to-completion work (FaaS functions), free of
+	// multiplexing dilution.
+	LatOwn *metrics.Histogram
+
+	ctx         mmu.Ctx
+	Instrs      uint64
+	Cycles      memdefs.Cycles
+	reqStart    memdefs.Cycles
+	reqStartOwn memdefs.Cycles
+	inReq       bool
+	Done        bool
+
+	// FinishCycles is the core cycle count when the generator finished
+	// (run-to-completion workloads).
+	FinishCycles memdefs.Cycles
+}
+
+// Core is one processor core with its private memory-system state.
+type Core struct {
+	ID   int
+	Hier *cache.Hierarchy
+	MMU  *mmu.MMU
+
+	tasks  []*Task
+	cur    int
+	Cycles memdefs.Cycles
+	Instrs uint64
+}
+
+// Machine is the simulated server.
+type Machine struct {
+	Params Params
+	Mem    *physmem.Memory
+	L3     *cache.Cache
+	DRAM   *dram.DRAM
+	Kernel *kernel.Kernel
+	Cores  []*Core
+
+	// Tracer, when non-nil, records per-access translation events,
+	// context switches and faults (see internal/trace). Enable with
+	// EnableTracing.
+	Tracer *trace.Ring
+}
+
+// EnableTracing attaches an event ring holding up to n events.
+func (m *Machine) EnableTracing(n int) *trace.Ring {
+	m.Tracer = trace.NewRing(n)
+	return m.Tracer
+}
+
+// New builds a machine.
+func New(p Params) *Machine {
+	mem := physmem.New(p.MemBytes)
+	d := dram.New(p.DRAM)
+	l3 := cache.New(p.L3, d)
+	k := kernel.New(mem, p.Kernel)
+	m := &Machine{Params: p, Mem: mem, L3: l3, DRAM: d, Kernel: k}
+	for i := 0; i < p.Cores; i++ {
+		hier := cache.NewHierarchy(p.Hier, l3)
+		core := &Core{ID: i, Hier: hier}
+		core.MMU = mmu.New(p.MMU, mem, hier, k)
+		m.Cores = append(m.Cores, core)
+	}
+	k.Hooks = m
+	return m
+}
+
+// MachineHooks implementation: the kernel's reach into the hardware.
+
+// ShootdownVA invalidates every TLB entry for va on all cores.
+func (m *Machine) ShootdownVA(va memdefs.VAddr) {
+	for _, c := range m.Cores {
+		c.MMU.InvalidateVA(va)
+	}
+}
+
+// ShootdownSharedVA invalidates the shared (O==0) entries for va.
+func (m *Machine) ShootdownSharedVA(va memdefs.VAddr, ccid memdefs.CCID) {
+	for _, c := range m.Cores {
+		c.MMU.InvalidateSharedVA(va, ccid)
+	}
+}
+
+// InvalidatePWC drops a stale cached table entry on all cores.
+func (m *Machine) InvalidatePWC(lvl memdefs.Level, entryAddr memdefs.PAddr) {
+	for _, c := range m.Cores {
+		c.MMU.InvalidatePWCEntry(lvl, entryAddr)
+	}
+}
+
+// FlushProcess removes one process's TLB entries on all cores.
+func (m *Machine) FlushProcess(pcid memdefs.PCID) {
+	for _, c := range m.Cores {
+		c.MMU.FlushPCID(pcid)
+	}
+}
+
+// NumCores reports the core count.
+func (m *Machine) NumCores() int { return len(m.Cores) }
+
+var _ kernel.MachineHooks = (*Machine)(nil)
+
+// AddTask schedules a process+generator on a core's run queue.
+func (m *Machine) AddTask(coreID int, proc *kernel.Process, gen Generator) *Task {
+	t := &Task{
+		Proc:   proc,
+		Gen:    gen,
+		Lat:    metrics.NewHistogram(),
+		LatOwn: metrics.NewHistogram(),
+	}
+	t.ctx = mmu.Ctx{
+		PID:      proc.PID,
+		PCID:     proc.PCID,
+		CCID:     proc.CCID,
+		Tables:   proc.Tables,
+		SharedVA: proc.SharedVAFunc(),
+		PCBit:    proc.PCBitFunc(),
+		PCMask:   proc.PCMaskFunc(),
+	}
+	c := m.Cores[coreID%len(m.Cores)]
+	c.tasks = append(c.tasks, t)
+	return t
+}
+
+// Ctx exposes the task's MMU translation context (tests and benches
+// drive Translate directly with it).
+func (t *Task) Ctx() *mmu.Ctx { return &t.ctx }
+
+// liveTasks reports whether the core still has unfinished tasks.
+func (c *Core) liveTasks() bool {
+	for _, t := range c.tasks {
+		if !t.Done {
+			return true
+		}
+	}
+	return false
+}
+
+// runQuantum executes one scheduling quantum of the current task and
+// rotates to the next. Returns the instructions executed.
+func (m *Machine) runQuantum(c *Core) (uint64, error) {
+	n := len(c.tasks)
+	if n == 0 {
+		return 0, nil
+	}
+	// Pick the next live task.
+	for i := 0; i < n; i++ {
+		if !c.tasks[c.cur].Done {
+			break
+		}
+		c.cur = (c.cur + 1) % n
+	}
+	t := c.tasks[c.cur]
+	if t.Done {
+		return 0, nil
+	}
+	if m.Params.SMT {
+		// Pick a second live task as the sibling hardware thread.
+		var t2 *Task
+		for i := 1; i < n; i++ {
+			cand := c.tasks[(c.cur+i)%n]
+			if !cand.Done {
+				t2 = cand
+				break
+			}
+		}
+		if t2 != nil {
+			instrs, err := m.runQuantumSMT(c, t, t2)
+			c.cur = (c.cur + 1) % n
+			return instrs, err
+		}
+	}
+	instrs, err := m.runQuantumTask(c, t)
+	c.cur = (c.cur + 1) % n
+	return instrs, err
+}
+
+// runQuantumSMT runs two tasks as SMT siblings for one quantum: steps
+// alternate between the threads, and every structure of the core (TLBs,
+// PWC, caches) is shared between them, so one thread's fills are
+// immediately visible to the other.
+func (m *Machine) runQuantumSMT(c *Core, t1, t2 *Task) (uint64, error) {
+	c.Cycles += m.Params.CtxSwitch
+	end := c.Cycles + m.Params.Quantum
+	tasks := [2]*Task{t1, t2}
+	var step Step
+	var instrs uint64
+	turn := 0
+	for c.Cycles < end {
+		t := tasks[turn%2]
+		turn++
+		if t.Done {
+			t = tasks[turn%2]
+			if t.Done {
+				break
+			}
+		}
+		if !t.Gen.Next(&step) {
+			t.Done = true
+			t.FinishCycles = c.Cycles
+			continue
+		}
+		switch step.Req {
+		case ReqStart:
+			t.reqStart = c.Cycles
+			t.reqStartOwn = t.Cycles
+			t.inReq = true
+		case ReqEnd:
+			if t.inReq {
+				t.Lat.AddCycles(c.Cycles - t.reqStart)
+				t.LatOwn.AddCycles(t.Cycles - t.reqStartOwn)
+				t.inReq = false
+			}
+		}
+		// Each thread contributes half the issue width: charge think at
+		// double CPI (two threads share the pipeline).
+		think := memdefs.Cycles(step.Think*m.Params.CPITenths) / 5
+		c.Cycles += think
+		instrs += uint64(step.Think) + 1
+
+		ppn, tc, tinfo, err := c.MMU.Translate(&t.ctx, step.VA, step.Write, step.Kind)
+		if err != nil {
+			return instrs, fmt.Errorf("core %d pid %d (SMT): %w", c.ID, t.Proc.PID, err)
+		}
+		_ = tinfo
+		pa := ppn.Addr() + memdefs.PAddr(memdefs.PageOffset(step.VA))
+		var dlat memdefs.Cycles
+		if step.Kind == memdefs.AccessInstr {
+			dlat, _ = c.Hier.Instr(pa)
+		} else {
+			dlat, _ = c.Hier.Data(pa, step.Write)
+		}
+		c.Cycles += tc + dlat
+		t.Cycles += think + tc + dlat
+		t.Instrs += uint64(step.Think) + 1
+	}
+	c.Instrs += instrs
+	return instrs, nil
+}
+
+// runQuantumTask executes one quantum of a specific task on its core.
+func (m *Machine) runQuantumTask(c *Core, t *Task) (uint64, error) {
+	c.Cycles += m.Params.CtxSwitch
+	if m.Tracer != nil {
+		m.Tracer.Record(trace.Event{
+			Kind: trace.EvSwitch, Core: uint8(c.ID), PID: t.Proc.PID, At: c.Cycles,
+		})
+	}
+	end := c.Cycles + m.Params.Quantum
+	var step Step
+	var instrs uint64
+	for c.Cycles < end {
+		if !t.Gen.Next(&step) {
+			t.Done = true
+			t.FinishCycles = c.Cycles
+			break
+		}
+		// Request bookkeeping.
+		switch step.Req {
+		case ReqStart:
+			t.reqStart = c.Cycles
+			t.reqStartOwn = t.Cycles
+			t.inReq = true
+		case ReqEnd:
+			if t.inReq {
+				t.Lat.AddCycles(c.Cycles - t.reqStart)
+				t.LatOwn.AddCycles(t.Cycles - t.reqStartOwn)
+				t.inReq = false
+			}
+		}
+		// Think time.
+		think := memdefs.Cycles(step.Think*m.Params.CPITenths) / 10
+		c.Cycles += think
+		instrs += uint64(step.Think) + 1
+
+		// Translate, then access memory.
+		ppn, tc, tinfo, err := c.MMU.Translate(&t.ctx, step.VA, step.Write, step.Kind)
+		if err != nil {
+			return instrs, fmt.Errorf("core %d pid %d: %w", c.ID, t.Proc.PID, err)
+		}
+		if m.Tracer != nil {
+			lvl := trace.LevelWalk
+			switch tinfo.Level {
+			case "L1":
+				lvl = trace.LevelL1
+			case "L2":
+				lvl = trace.LevelL2
+			}
+			m.Tracer.Record(trace.Event{
+				Kind: trace.EvAccess, Core: uint8(c.ID), PID: t.Proc.PID,
+				VA: step.VA, Write: step.Write, Instr: step.Kind == memdefs.AccessInstr,
+				Level: lvl, Cycles: tc, At: c.Cycles,
+			})
+			if tinfo.Faults > 0 {
+				m.Tracer.Record(trace.Event{
+					Kind: trace.EvFault, Core: uint8(c.ID), PID: t.Proc.PID,
+					VA: step.VA, Cycles: tc, At: c.Cycles,
+				})
+			}
+		}
+		pa := ppn.Addr() + memdefs.PAddr(memdefs.PageOffset(step.VA))
+		var dlat memdefs.Cycles
+		if step.Kind == memdefs.AccessInstr {
+			dlat, _ = c.Hier.Instr(pa)
+		} else {
+			dlat, _ = c.Hier.Data(pa, step.Write)
+		}
+		c.Cycles += tc + dlat
+		t.Cycles += think + tc + dlat
+	}
+	t.Instrs += instrs
+	c.Instrs += instrs
+	return instrs, nil
+}
+
+// RunTaskOnly executes a single task to completion, giving it dedicated
+// quanta on its core (used to time container bring-up in isolation).
+func (m *Machine) RunTaskOnly(t *Task) error {
+	var core *Core
+	for _, c := range m.Cores {
+		for _, ct := range c.tasks {
+			if ct == t {
+				core = c
+				break
+			}
+		}
+	}
+	if core == nil {
+		return fmt.Errorf("sim: task not scheduled on any core")
+	}
+	for !t.Done {
+		if _, err := m.runQuantumTask(core, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run executes until every core has run at least instrBudget instructions
+// since this call (cores whose tasks all finish stop earlier). Cores are
+// interleaved one quantum at a time.
+func (m *Machine) Run(instrBudget uint64) error {
+	start := make([]uint64, len(m.Cores))
+	for i, c := range m.Cores {
+		start[i] = c.Instrs
+	}
+	for {
+		progress := false
+		for i, c := range m.Cores {
+			if !c.liveTasks() || c.Instrs-start[i] >= instrBudget {
+				continue
+			}
+			n, err := m.runQuantum(c)
+			if err != nil {
+				return err
+			}
+			if n > 0 {
+				progress = true
+			}
+		}
+		if !progress {
+			return nil
+		}
+	}
+}
+
+// RunToCompletion executes until every task on every core has finished.
+func (m *Machine) RunToCompletion() error {
+	for {
+		progress := false
+		for _, c := range m.Cores {
+			if !c.liveTasks() {
+				continue
+			}
+			if _, err := m.runQuantum(c); err != nil {
+				return err
+			}
+			progress = true
+		}
+		if !progress {
+			return nil
+		}
+	}
+}
+
+// ResetStats zeroes all hardware and kernel counters and per-task
+// accounting — the warm-up/measurement boundary.
+func (m *Machine) ResetStats() {
+	for _, c := range m.Cores {
+		c.MMU.ResetStats()
+		c.Hier.ResetStats()
+		c.Instrs = 0
+		c.Cycles = 0
+		for _, t := range c.tasks {
+			t.Instrs = 0
+			t.Cycles = 0
+			t.Lat.Reset()
+			t.LatOwn.Reset()
+			t.inReq = false
+		}
+	}
+	m.L3.ResetStats()
+	m.DRAM.ResetStats()
+	m.Kernel.ResetStats()
+}
+
+// Tasks returns every task on the machine.
+func (m *Machine) Tasks() []*Task {
+	var out []*Task
+	for _, c := range m.Cores {
+		out = append(out, c.tasks...)
+	}
+	return out
+}
+
+// AggStats is the machine-wide roll-up of translation statistics.
+type AggStats struct {
+	Instrs     uint64
+	Cycles     memdefs.Cycles
+	L2TLBMissD uint64
+	L2TLBMissI uint64
+	L2TLBHitD  uint64
+	L2TLBHitI  uint64
+	L2SharedD  uint64
+	L2SharedI  uint64
+	Walks      uint64
+	Faults     uint64
+	FaultCyc   memdefs.Cycles
+}
+
+// Aggregate sums the per-core MMU statistics.
+func (m *Machine) Aggregate() AggStats {
+	var a AggStats
+	for _, c := range m.Cores {
+		s := c.MMU.Stats()
+		a.Instrs += c.Instrs
+		if c.Cycles > a.Cycles {
+			a.Cycles = c.Cycles
+		}
+		a.L2TLBMissD += s.L2MissData
+		a.L2TLBMissI += s.L2MissInstr
+		a.L2TLBHitD += s.L2HitData
+		a.L2TLBHitI += s.L2HitInstr
+		a.L2SharedD += s.L2SharedData
+		a.L2SharedI += s.L2SharedInstr
+		a.Walks += s.Walks
+		a.Faults += s.Faults
+		a.FaultCyc += s.FaultCycles
+	}
+	return a
+}
+
+// MPKIData returns machine-wide L2 TLB data MPKI.
+func (a AggStats) MPKIData() float64 { return metrics.MPKI(a.L2TLBMissD, a.Instrs) }
+
+// MPKIInstr returns machine-wide L2 TLB instruction MPKI.
+func (a AggStats) MPKIInstr() float64 { return metrics.MPKI(a.L2TLBMissI, a.Instrs) }
+
+// SharedHitFracD is the fraction of L2 TLB data hits on entries brought
+// in by another process (Figure 10b).
+func (a AggStats) SharedHitFracD() float64 {
+	return metrics.Ratio(float64(a.L2SharedD), float64(a.L2TLBHitD))
+}
+
+// SharedHitFracI is the instruction-side shared-hit fraction.
+func (a AggStats) SharedHitFracI() float64 {
+	return metrics.Ratio(float64(a.L2SharedI), float64(a.L2TLBHitI))
+}

@@ -1,0 +1,183 @@
+package tlb
+
+import (
+	"babelfish/internal/memdefs"
+)
+
+// Group bundles the per-page-size TLB structures of one level (the paper's
+// L1 D-TLB has separate 4KB/2MB/1GB arrays; the L2 TLB likewise). A probe
+// consults all size classes in parallel; the latency is the maximum of the
+// structures consulted (they are accessed concurrently in hardware).
+type Group struct {
+	BydSize [memdefs.NumPageSizes]*TLB // nil for absent classes
+}
+
+// GroupConfig lists the structures of a group; absent classes stay nil.
+type GroupConfig struct {
+	Structs []Config
+}
+
+// NewGroup builds the group.
+func NewGroup(cfg GroupConfig) *Group {
+	g := &Group{}
+	for _, c := range cfg.Structs {
+		g.BydSize[c.Size] = New(c)
+	}
+	return g
+}
+
+// GroupResult reports a group probe.
+type GroupResult struct {
+	Res   Result
+	Entry *Entry
+	Size  memdefs.PageSizeClass
+	Lat   memdefs.Cycles
+}
+
+// Lookup probes every size class with the size-appropriate VPN of va.
+// A Hit in any class wins; otherwise a CoW/prot fault outranks a miss.
+func (g *Group) Lookup(va memdefs.VAddr, q Lookup) GroupResult {
+	out := GroupResult{Res: Miss}
+	for sz := memdefs.Page4K; sz < memdefs.NumPageSizes; sz++ {
+		t := g.BydSize[sz]
+		if t == nil {
+			continue
+		}
+		qq := q
+		qq.VPN = sz.VPNOf(va)
+		res, e, lat := t.LookupEntry(qq)
+		if lat > out.Lat {
+			out.Lat = lat
+		}
+		switch res {
+		case Hit:
+			out.Res, out.Entry, out.Size = Hit, e, sz
+			return out
+		case HitCoWFault, HitProtFault:
+			if out.Res == Miss {
+				out.Res, out.Entry, out.Size = res, e, sz
+			}
+		}
+	}
+	return out
+}
+
+// Insert fills the structure of the entry's size class (no-op if the group
+// lacks that class).
+func (g *Group) Insert(sz memdefs.PageSizeClass, e Entry) {
+	if t := g.BydSize[sz]; t != nil {
+		t.Insert(e)
+	}
+}
+
+// InvalidateVA removes all entries covering va in every size class.
+func (g *Group) InvalidateVA(va memdefs.VAddr) int {
+	n := 0
+	for sz := memdefs.Page4K; sz < memdefs.NumPageSizes; sz++ {
+		if t := g.BydSize[sz]; t != nil {
+			n += t.InvalidateVPN(sz.VPNOf(va))
+		}
+	}
+	return n
+}
+
+// InvalidateSharedVA removes only shared (O==0) entries covering va for a
+// CCID group.
+func (g *Group) InvalidateSharedVA(va memdefs.VAddr, ccid memdefs.CCID) int {
+	n := 0
+	for sz := memdefs.Page4K; sz < memdefs.NumPageSizes; sz++ {
+		if t := g.BydSize[sz]; t != nil {
+			n += t.InvalidateSharedVPN(sz.VPNOf(va), ccid)
+		}
+	}
+	return n
+}
+
+// FlushPCID invalidates one process's entries in every structure.
+func (g *Group) FlushPCID(pcid memdefs.PCID) int {
+	n := 0
+	for _, t := range g.BydSize {
+		if t != nil {
+			n += t.FlushPCID(pcid)
+		}
+	}
+	return n
+}
+
+// FlushAll empties every structure.
+func (g *Group) FlushAll() {
+	for _, t := range g.BydSize {
+		if t != nil {
+			t.FlushAll()
+		}
+	}
+}
+
+// Stats sums the counters across size classes.
+func (g *Group) Stats() Stats {
+	var s Stats
+	for _, t := range g.BydSize {
+		if t == nil {
+			continue
+		}
+		ts := t.Stats()
+		s.Accesses += ts.Accesses
+		s.Hits += ts.Hits
+		s.Misses += ts.Misses
+		s.SharedHits += ts.SharedHits
+		s.MaskChecks += ts.MaskChecks
+		s.PrivateCopySkips += ts.PrivateCopySkips
+		s.CoWFaultHits += ts.CoWFaultHits
+		s.ProtFaultHits += ts.ProtFaultHits
+		s.Fills += ts.Fills
+		s.MaskLoads += ts.MaskLoads
+		s.Invalidations += ts.Invalidations
+		s.Evictions += ts.Evictions
+	}
+	return s
+}
+
+// ResetStats zeroes every structure's counters.
+func (g *Group) ResetStats() {
+	for _, t := range g.BydSize {
+		if t != nil {
+			t.ResetStats()
+		}
+	}
+}
+
+// Table I group configurations. mode is TagPCID for the baseline (and for
+// BabelFish's L1 under ASLR-HW) and TagCCID for BabelFish structures.
+
+// L1DConfig returns the per-core L1 data-TLB group.
+func L1DConfig(mode Mode) GroupConfig {
+	return GroupConfig{Structs: []Config{
+		{Name: "L1D-4K", Entries: 64, Ways: 4, Size: memdefs.Page4K, Mode: mode, AccessTime: 1},
+		{Name: "L1D-2M", Entries: 32, Ways: 4, Size: memdefs.Page2M, Mode: mode, AccessTime: 1},
+		{Name: "L1D-1G", Entries: 4, Ways: 0, Size: memdefs.Page1G, Mode: mode, AccessTime: 1},
+	}}
+}
+
+// L1IConfig returns the per-core L1 instruction-TLB group.
+func L1IConfig(mode Mode) GroupConfig {
+	return GroupConfig{Structs: []Config{
+		{Name: "L1I-4K", Entries: 64, Ways: 4, Size: memdefs.Page4K, Mode: mode, AccessTime: 1},
+	}}
+}
+
+// L2Config returns the per-core unified L2 TLB group. When larger is true,
+// the 4KB/2MB structures are grown by 50% (1536 → 2304 entries, 12 → 18
+// ways), modelling the §VII-C comparison that spends BabelFish's extra tag
+// bits (CCID + O-PC ≈ 46 bits/entry) on conventional capacity instead.
+func L2Config(mode Mode, larger bool) GroupConfig {
+	at, atMask := memdefs.Cycles(10), memdefs.Cycles(12)
+	entries, ways := 1536, 12
+	if larger {
+		entries, ways = 2304, 18
+	}
+	return GroupConfig{Structs: []Config{
+		{Name: "L2-4K", Entries: entries, Ways: ways, Size: memdefs.Page4K, Mode: mode, AccessTime: at, AccessTimeMask: atMask},
+		{Name: "L2-2M", Entries: entries, Ways: ways, Size: memdefs.Page2M, Mode: mode, AccessTime: at, AccessTimeMask: atMask},
+		{Name: "L2-1G", Entries: 16, Ways: 4, Size: memdefs.Page1G, Mode: mode, AccessTime: at, AccessTimeMask: atMask},
+	}}
+}

@@ -1,0 +1,120 @@
+package tlb
+
+import (
+	"testing"
+
+	"babelfish/internal/memdefs"
+)
+
+func testGroup() *Group {
+	return NewGroup(GroupConfig{Structs: []Config{
+		{Name: "4k", Entries: 16, Ways: 4, Size: memdefs.Page4K, Mode: TagCCID, AccessTime: 1, AccessTimeMask: 3},
+		{Name: "2m", Entries: 8, Ways: 4, Size: memdefs.Page2M, Mode: TagCCID, AccessTime: 2},
+	}})
+}
+
+func TestGroupLatencyIsMax(t *testing.T) {
+	g := testGroup()
+	// A miss probes both structures: latency is the slower one (2).
+	res := g.Lookup(0x12345000, Lookup{PCID: 1, CCID: 1, PID: 1})
+	if res.Res != Miss || res.Lat != 2 {
+		t.Fatalf("miss: res=%v lat=%d", res.Res, res.Lat)
+	}
+}
+
+func TestGroupCoWOutranksMiss(t *testing.T) {
+	g := testGroup()
+	va := memdefs.VAddr(0x40000000)
+	e := Entry{VPN: memdefs.Page4K.VPNOf(va), PPN: 7, CCID: 1, PCID: 1,
+		Perm: memdefs.PermRead | memdefs.PermUser, CoW: true, BroughtBy: 1}
+	g.Insert(memdefs.Page4K, e)
+	res := g.Lookup(va, Lookup{Write: true, PCID: 2, CCID: 1, PID: 2})
+	if res.Res != HitCoWFault {
+		t.Fatalf("res = %v, want cow-fault", res.Res)
+	}
+}
+
+func TestGroupInsertUnknownSizeIsNoop(t *testing.T) {
+	g := testGroup()
+	g.Insert(memdefs.Page1G, Entry{VPN: 1, PPN: 1}) // no 1G structure
+	if n := g.InvalidateVA(1 << 30); n != 0 {
+		t.Fatalf("phantom entries: %d", n)
+	}
+}
+
+func TestGroupSharedInvalidate(t *testing.T) {
+	g := testGroup()
+	va := memdefs.VAddr(0x40000000)
+	shared := Entry{VPN: memdefs.Page4K.VPNOf(va), PPN: 1, CCID: 5, PCID: 1,
+		Perm: memdefs.PermRead | memdefs.PermUser, BroughtBy: 1}
+	owned := shared
+	owned.Owned = true
+	owned.PCID = 2
+	owned.PPN = 2
+	g.Insert(memdefs.Page4K, shared)
+	g.Insert(memdefs.Page4K, owned)
+	if n := g.InvalidateSharedVA(va, 5); n != 1 {
+		t.Fatalf("shared invalidations = %d", n)
+	}
+	// Owner still hits.
+	res := g.Lookup(va, Lookup{PCID: 2, CCID: 5, PID: 2})
+	if res.Res != Hit || res.Entry.PPN != 2 {
+		t.Fatalf("owned entry lost: %v", res.Res)
+	}
+}
+
+func TestGroupFlushPCIDAndStats(t *testing.T) {
+	g := testGroup()
+	va4k := memdefs.VAddr(0x1000)
+	va2m := memdefs.VAddr(0x40000000)
+	g.Insert(memdefs.Page4K, Entry{VPN: memdefs.Page4K.VPNOf(va4k), PPN: 1, CCID: 1, PCID: 7,
+		Perm: memdefs.PermRead | memdefs.PermUser, BroughtBy: 7})
+	g.Insert(memdefs.Page2M, Entry{VPN: memdefs.Page2M.VPNOf(va2m), PPN: 2, CCID: 1, PCID: 7,
+		Perm: memdefs.PermRead | memdefs.PermUser, BroughtBy: 7})
+	g.Lookup(va4k, Lookup{PCID: 7, CCID: 1, PID: 7})
+	g.Lookup(va2m, Lookup{PCID: 7, CCID: 1, PID: 7})
+	st := g.Stats()
+	if st.Fills != 2 || st.Hits != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if n := g.FlushPCID(7); n != 2 {
+		t.Fatalf("flushed %d, want 2", n)
+	}
+	g.ResetStats()
+	if g.Stats().Hits != 0 {
+		t.Fatal("reset failed")
+	}
+	g.FlushAll()
+	if res := g.Lookup(va4k, Lookup{PCID: 7, CCID: 1, PID: 7}); res.Res != Miss {
+		t.Fatal("entries after FlushAll")
+	}
+}
+
+func TestResultStrings(t *testing.T) {
+	for r, want := range map[Result]string{
+		Miss: "miss", Hit: "hit", HitCoWFault: "cow-fault", HitProtFault: "prot-fault",
+	} {
+		if r.String() != want {
+			t.Errorf("%d.String() = %q", r, r.String())
+		}
+	}
+	if TagPCID.String() != "PCID" || TagCCID.String() != "CCID" {
+		t.Error("mode strings wrong")
+	}
+}
+
+func TestLargerL2Geometry(t *testing.T) {
+	g := NewGroup(L2Config(TagPCID, true))
+	tb := g.BydSize[memdefs.Page4K]
+	if tb.Config().Entries != 2304 || tb.Config().Ways != 18 {
+		t.Fatalf("larger L2: %d entries / %d ways", tb.Config().Entries, tb.Config().Ways)
+	}
+	// It actually holds more than the standard 1536.
+	for i := 0; i < 4000; i++ {
+		tb.Insert(Entry{VPN: memdefs.VPN(i * 131), PPN: memdefs.PPN(i + 1), PCID: 1,
+			Perm: memdefs.PermRead | memdefs.PermUser})
+	}
+	if occ := tb.Occupancy(); occ <= 1536 || occ > 2304 {
+		t.Fatalf("larger L2 occupancy %d", occ)
+	}
+}

@@ -1,0 +1,159 @@
+package tlb
+
+import (
+	"testing"
+
+	"babelfish/internal/memdefs"
+)
+
+// xorshift for the op stream.
+type opRNG struct{ s uint64 }
+
+func (r *opRNG) next() uint64 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return r.s
+}
+func (r *opRNG) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// TestFigure8MatchingProperty drives a TLB with a random stream of
+// inserts, lookups and invalidations and asserts, for every Hit, that
+// the returned entry legally matches the query under the Figure-8 rules:
+//
+//   - VPN and CCID match (TagCCID) or VPN and PCID match (TagPCID);
+//   - Owned entries matched only by their owner (PCID);
+//   - shared entries with ORPC never used by a process whose PC bit is
+//     set;
+//   - writes never satisfied by CoW or non-writable entries.
+//
+// It also asserts insert-then-lookup coherence and that invalidation is
+// absolute until the next insert.
+func TestFigure8MatchingProperty(t *testing.T) {
+	for _, mode := range []Mode{TagPCID, TagCCID} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			tb := New(Config{
+				Name: "prop", Entries: 64, Ways: 4, Size: memdefs.Page4K,
+				Mode: mode, AccessTime: 1, AccessTimeMask: 3,
+			})
+			rng := opRNG{s: 0xBF15}
+			const (
+				nVPN  = 40 // small space to force conflicts and evictions
+				nProc = 6
+				nCCID = 2
+			)
+			// Per-process PC bit: process i uses bit i.
+			bitOf := func(pid memdefs.PID) func(memdefs.VPN) (int, bool) {
+				return func(memdefs.VPN) (int, bool) { return int(pid), true }
+			}
+			invalidated := map[memdefs.VPN]bool{}
+
+			for op := 0; op < 60_000; op++ {
+				switch rng.intn(10) {
+				case 0, 1, 2, 3: // insert
+					pid := memdefs.PID(rng.intn(nProc))
+					e := Entry{
+						VPN:       memdefs.VPN(rng.intn(nVPN)),
+						PPN:       memdefs.PPN(rng.next()%100000 + 1),
+						Perm:      memdefs.PermRead | memdefs.PermUser,
+						PCID:      memdefs.PCID(pid + 1),
+						CCID:      memdefs.CCID(rng.intn(nCCID) + 1),
+						BroughtBy: pid,
+					}
+					if rng.intn(3) == 0 {
+						e.Perm |= memdefs.PermWrite
+					}
+					if rng.intn(4) == 0 {
+						e.CoW = true
+						e.Perm &^= memdefs.PermWrite
+					}
+					if mode == TagCCID {
+						switch rng.intn(3) {
+						case 0:
+							e.Owned = true
+						case 1:
+							e.ORPC = true
+							e.PCMask = uint32(rng.next())
+						}
+					}
+					tb.Insert(e)
+					delete(invalidated, e.VPN)
+
+				case 4: // invalidate
+					vpn := memdefs.VPN(rng.intn(nVPN))
+					tb.InvalidateVPN(vpn)
+					invalidated[vpn] = true
+
+				default: // lookup
+					pid := memdefs.PID(rng.intn(nProc))
+					q := Lookup{
+						VPN:   memdefs.VPN(rng.intn(nVPN)),
+						Write: rng.intn(4) == 0,
+						PCID:  memdefs.PCID(pid + 1),
+						CCID:  memdefs.CCID(rng.intn(nCCID) + 1),
+						PID:   pid,
+						PCBit: bitOf(pid),
+					}
+					res, e, lat := tb.LookupEntry(q)
+					if res == Hit {
+						if invalidated[q.VPN] {
+							t.Fatalf("op %d: hit on invalidated VPN %d", op, q.VPN)
+						}
+						if e.VPN != q.VPN {
+							t.Fatalf("op %d: hit wrong VPN", op)
+						}
+						if mode == TagPCID {
+							if e.PCID != q.PCID && !e.Global {
+								t.Fatalf("op %d: PCID mismatch hit", op)
+							}
+						} else {
+							if e.CCID != q.CCID {
+								t.Fatalf("op %d: CCID mismatch hit", op)
+							}
+							if e.Owned && e.PCID != q.PCID {
+								t.Fatalf("op %d: owned entry hit by non-owner", op)
+							}
+							if !e.Owned && e.ORPC && e.PCMask&(1<<uint(pid)) != 0 {
+								t.Fatalf("op %d: shared entry used by private-copy holder", op)
+							}
+						}
+						if q.Write && (e.CoW || !e.Perm.CanWrite()) {
+							t.Fatalf("op %d: write satisfied by CoW/RO entry", op)
+						}
+					}
+					if res == HitCoWFault && (!e.CoW || !q.Write) {
+						t.Fatalf("op %d: spurious CoW fault", op)
+					}
+					if lat < 1 || lat > 3 {
+						t.Fatalf("op %d: latency %d out of range", op, lat)
+					}
+				}
+				if occ := tb.Occupancy(); occ > 64 {
+					t.Fatalf("op %d: occupancy %d over capacity", op, occ)
+				}
+			}
+		})
+	}
+}
+
+// TestInsertThenLookupCoherence: an inserted usable entry is immediately
+// visible to a legal query.
+func TestInsertThenLookupCoherence(t *testing.T) {
+	tb := New(Config{Name: "c", Entries: 16, Ways: 4, Size: memdefs.Page4K,
+		Mode: TagCCID, AccessTime: 1})
+	for i := 0; i < 1000; i++ {
+		e := Entry{
+			VPN: memdefs.VPN(i * 13), PPN: memdefs.PPN(i + 1),
+			Perm: memdefs.PermRead | memdefs.PermUser,
+			PCID: memdefs.PCID(i%5 + 1), CCID: 3, BroughtBy: memdefs.PID(i % 5),
+		}
+		tb.Insert(e)
+		res, got, _ := tb.LookupEntry(Lookup{
+			VPN: e.VPN, PCID: e.PCID, CCID: 3, PID: memdefs.PID(i % 5),
+		})
+		if res != Hit || got.PPN != e.PPN {
+			t.Fatalf("insert %d not immediately visible: %v", i, res)
+		}
+	}
+}

@@ -1,0 +1,276 @@
+package tlb
+
+import (
+	"testing"
+
+	"babelfish/internal/memdefs"
+)
+
+func smallTLB(mode Mode) *TLB {
+	return New(Config{
+		Name: "test", Entries: 8, Ways: 2, Size: memdefs.Page4K, Mode: mode,
+		AccessTime: 1, AccessTimeMask: 3,
+	})
+}
+
+func mkEntry(vpn memdefs.VPN, ppn memdefs.PPN, pcid memdefs.PCID, ccid memdefs.CCID) Entry {
+	return Entry{
+		VPN: vpn, PPN: ppn, PCID: pcid, CCID: ccid,
+		Perm:      memdefs.PermRead | memdefs.PermWrite | memdefs.PermExec | memdefs.PermUser,
+		BroughtBy: memdefs.PID(pcid),
+	}
+}
+
+func TestBaselinePCIDMatch(t *testing.T) {
+	tb := smallTLB(TagPCID)
+	tb.Insert(mkEntry(0x10, 0x99, 1, 7))
+	res, e, _ := tb.LookupEntry(Lookup{VPN: 0x10, PCID: 1, CCID: 7, PID: 1})
+	if res != Hit || e.PPN != 0x99 {
+		t.Fatalf("same-PCID lookup: %v", res)
+	}
+	// A different process misses even with the same CCID — the baseline
+	// does not share translations.
+	res, _, _ = tb.LookupEntry(Lookup{VPN: 0x10, PCID: 2, CCID: 7, PID: 2})
+	if res != Miss {
+		t.Fatalf("cross-PCID lookup: %v, want miss", res)
+	}
+}
+
+func TestCCIDSharing(t *testing.T) {
+	tb := smallTLB(TagCCID)
+	tb.Insert(mkEntry(0x10, 0x99, 1, 7))
+	// Another process of the same CCID group hits.
+	res, e, _ := tb.LookupEntry(Lookup{VPN: 0x10, PCID: 2, CCID: 7, PID: 2})
+	if res != Hit || e.PPN != 0x99 {
+		t.Fatalf("same-CCID lookup: %v", res)
+	}
+	if tb.Stats().SharedHits != 1 {
+		t.Fatalf("shared hits = %d, want 1", tb.Stats().SharedHits)
+	}
+	// A different CCID misses.
+	res, _, _ = tb.LookupEntry(Lookup{VPN: 0x10, PCID: 2, CCID: 8, PID: 2})
+	if res != Miss {
+		t.Fatalf("cross-CCID lookup: %v, want miss", res)
+	}
+}
+
+func TestOwnedEntryRequiresPCID(t *testing.T) {
+	tb := smallTLB(TagCCID)
+	e := mkEntry(0x10, 0x99, 1, 7)
+	e.Owned = true
+	tb.Insert(e)
+	if res, _, _ := tb.LookupEntry(Lookup{VPN: 0x10, PCID: 1, CCID: 7, PID: 1}); res != Hit {
+		t.Fatalf("owner lookup: %v, want hit", res)
+	}
+	if res, _, _ := tb.LookupEntry(Lookup{VPN: 0x10, PCID: 2, CCID: 7, PID: 2}); res != Miss {
+		t.Fatalf("non-owner lookup: %v, want miss", res)
+	}
+}
+
+func TestORPCPrivateCopySkip(t *testing.T) {
+	tb := smallTLB(TagCCID)
+	e := mkEntry(0x10, 0x99, 1, 7)
+	e.ORPC = true
+	e.PCMask = 1 << 3 // process with bit 3 has a private copy
+	tb.Insert(e)
+
+	bitOf := func(bit int, ok bool) func(memdefs.VPN) (int, bool) {
+		return func(memdefs.VPN) (int, bool) { return bit, ok }
+	}
+
+	// Process with bit 3 set cannot use the shared entry.
+	res, _, lat := tb.LookupEntry(Lookup{VPN: 0x10, PCID: 4, CCID: 7, PID: 4, PCBit: bitOf(3, true)})
+	if res != Miss {
+		t.Fatalf("private-copy holder lookup: %v, want miss", res)
+	}
+	if lat != 3 {
+		t.Fatalf("mask check latency = %d, want 3 (long access)", lat)
+	}
+	if tb.Stats().PrivateCopySkips != 1 {
+		t.Fatalf("skips = %d", tb.Stats().PrivateCopySkips)
+	}
+	// Process with a different bit still shares.
+	res, _, _ = tb.LookupEntry(Lookup{VPN: 0x10, PCID: 5, CCID: 7, PID: 5, PCBit: bitOf(2, true)})
+	if res != Hit {
+		t.Fatalf("clear-bit lookup: %v, want hit", res)
+	}
+	// Process with no bit at all shares.
+	res, _, _ = tb.LookupEntry(Lookup{VPN: 0x10, PCID: 6, CCID: 7, PID: 6, PCBit: bitOf(0, false)})
+	if res != Hit {
+		t.Fatalf("no-bit lookup: %v, want hit", res)
+	}
+}
+
+func TestORPCClearSkipsMaskCheck(t *testing.T) {
+	tb := smallTLB(TagCCID)
+	e := mkEntry(0x10, 0x99, 1, 7)
+	tb.Insert(e) // ORPC clear
+	res, _, lat := tb.LookupEntry(Lookup{VPN: 0x10, PCID: 2, CCID: 7, PID: 2,
+		PCBit: func(memdefs.VPN) (int, bool) { t.Fatal("PCBit consulted with ORPC clear"); return 0, false }})
+	if res != Hit || lat != 1 {
+		t.Fatalf("res=%v lat=%d, want hit/1", res, lat)
+	}
+	if tb.Stats().MaskChecks != 0 {
+		t.Fatal("mask check counted with ORPC clear")
+	}
+}
+
+func TestCoWWriteFault(t *testing.T) {
+	tb := smallTLB(TagCCID)
+	e := mkEntry(0x10, 0x99, 1, 7)
+	e.Perm = memdefs.PermRead | memdefs.PermUser
+	e.CoW = true
+	tb.Insert(e)
+	// Reads hit.
+	if res, _, _ := tb.LookupEntry(Lookup{VPN: 0x10, PCID: 2, CCID: 7, PID: 2}); res != Hit {
+		t.Fatalf("CoW read: %v, want hit", res)
+	}
+	// Writes raise a CoW fault (Figure 8, step 6).
+	res, _, _ := tb.LookupEntry(Lookup{VPN: 0x10, Write: true, PCID: 2, CCID: 7, PID: 2})
+	if res != HitCoWFault {
+		t.Fatalf("CoW write: %v, want cow-fault", res)
+	}
+	if tb.Stats().CoWFaultHits != 1 {
+		t.Fatalf("CoW fault hits = %d", tb.Stats().CoWFaultHits)
+	}
+}
+
+func TestProtFault(t *testing.T) {
+	tb := smallTLB(TagPCID)
+	e := mkEntry(0x10, 0x99, 1, 7)
+	e.Perm = memdefs.PermRead | memdefs.PermUser // no write, no exec
+	tb.Insert(e)
+	if res, _, _ := tb.LookupEntry(Lookup{VPN: 0x10, Write: true, PCID: 1, PID: 1}); res != HitProtFault {
+		t.Fatalf("write to RO: %v, want prot-fault", res)
+	}
+	if res, _, _ := tb.LookupEntry(Lookup{VPN: 0x10, Exec: true, PCID: 1, PID: 1}); res != HitProtFault {
+		t.Fatalf("exec of NX: %v, want prot-fault", res)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	tb := smallTLB(TagPCID) // 4 sets x 2 ways
+	// Fill one set (VPNs congruent mod 4) beyond capacity.
+	v1, v2, v3 := memdefs.VPN(0x04), memdefs.VPN(0x08), memdefs.VPN(0x0C)
+	tb.Insert(mkEntry(v1, 1, 1, 0))
+	tb.Insert(mkEntry(v2, 2, 1, 0))
+	// Touch v1 so v2 is LRU.
+	tb.LookupEntry(Lookup{VPN: v1, PCID: 1, PID: 1})
+	tb.Insert(mkEntry(v3, 3, 1, 0))
+	if res, _, _ := tb.LookupEntry(Lookup{VPN: v2, PCID: 1, PID: 1}); res != Miss {
+		t.Fatal("LRU victim v2 still present")
+	}
+	if res, _, _ := tb.LookupEntry(Lookup{VPN: v1, PCID: 1, PID: 1}); res != Hit {
+		t.Fatal("recently-used v1 evicted")
+	}
+	if tb.Stats().Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", tb.Stats().Evictions)
+	}
+}
+
+func TestInvalidateSharedKeepsOwned(t *testing.T) {
+	tb := smallTLB(TagCCID)
+	shared := mkEntry(0x10, 0x99, 1, 7)
+	owned := mkEntry(0x10, 0xAA, 2, 7)
+	owned.Owned = true
+	tb.Insert(shared)
+	tb.Insert(owned)
+	if n := tb.InvalidateSharedVPN(0x10, 7); n != 1 {
+		t.Fatalf("invalidated %d, want 1", n)
+	}
+	// The owned entry survives.
+	if res, e, _ := tb.LookupEntry(Lookup{VPN: 0x10, PCID: 2, CCID: 7, PID: 2}); res != Hit || e.PPN != 0xAA {
+		t.Fatalf("owned entry gone: %v", res)
+	}
+	// The shared entry is gone.
+	if res, _, _ := tb.LookupEntry(Lookup{VPN: 0x10, PCID: 3, CCID: 7, PID: 3}); res != Miss {
+		t.Fatal("shared entry survived invalidation")
+	}
+}
+
+func TestFlushPCID(t *testing.T) {
+	tb := smallTLB(TagCCID)
+	tb.Insert(mkEntry(0x10, 1, 1, 7))
+	tb.Insert(mkEntry(0x11, 2, 2, 7))
+	if n := tb.FlushPCID(1); n != 1 {
+		t.Fatalf("flushed %d, want 1", n)
+	}
+	if res, _, _ := tb.LookupEntry(Lookup{VPN: 0x11, PCID: 2, CCID: 7, PID: 2}); res != Hit {
+		t.Fatal("other process's entry flushed")
+	}
+}
+
+func TestInsertClearsMaskPerORPCLogic(t *testing.T) {
+	tb := smallTLB(TagCCID)
+	e := mkEntry(0x10, 1, 1, 7)
+	e.Owned = true
+	e.ORPC = true
+	e.PCMask = 0xFF
+	tb.Insert(e)
+	// Owned entries do not load the mask (Figure 5b).
+	set := tb.set(0x10)
+	for i := range set {
+		if set[i].Valid && set[i].VPN == 0x10 {
+			if set[i].PCMask != 0 || set[i].MaskLoaded {
+				t.Fatal("mask loaded for owned entry")
+			}
+		}
+	}
+	if tb.Stats().MaskLoads != 0 {
+		t.Fatal("mask load counted for owned entry")
+	}
+	e2 := mkEntry(0x11, 1, 1, 7)
+	e2.ORPC = true
+	e2.PCMask = 0xF0
+	tb.Insert(e2)
+	if tb.Stats().MaskLoads != 1 {
+		t.Fatalf("mask loads = %d, want 1", tb.Stats().MaskLoads)
+	}
+}
+
+func TestGroupMultiSize(t *testing.T) {
+	g := NewGroup(L1DConfig(TagPCID))
+	va := memdefs.VAddr(0x40000000 + 5*memdefs.PageSize)
+	e2m := Entry{VPN: memdefs.Page2M.VPNOf(va), PPN: 0x4000, PCID: 1,
+		Perm: memdefs.PermRead | memdefs.PermUser}
+	g.Insert(memdefs.Page2M, e2m)
+	res := g.Lookup(va, Lookup{PCID: 1, PID: 1})
+	if res.Res != Hit || res.Size != memdefs.Page2M {
+		t.Fatalf("2M group lookup: %v size %v", res.Res, res.Size)
+	}
+	// 4K entry for an overlapping address coexists in its own structure.
+	e4k := Entry{VPN: memdefs.Page4K.VPNOf(va), PPN: 0x9000, PCID: 1,
+		Perm: memdefs.PermRead | memdefs.PermUser}
+	g.Insert(memdefs.Page4K, e4k)
+	res = g.Lookup(va, Lookup{PCID: 1, PID: 1})
+	if res.Res != Hit || res.Size != memdefs.Page4K {
+		t.Fatalf("4K-priority lookup: %v size %v", res.Res, res.Size)
+	}
+	if n := g.InvalidateVA(va); n != 2 {
+		t.Fatalf("invalidated %d, want 2", n)
+	}
+}
+
+func TestTableIGeometries(t *testing.T) {
+	// The Table I configurations must construct without panicking and
+	// hold the advertised number of entries.
+	for _, cfg := range []GroupConfig{
+		L1DConfig(TagPCID), L1IConfig(TagCCID), L2Config(TagCCID, false), L2Config(TagPCID, true),
+	} {
+		g := NewGroup(cfg)
+		for _, c := range cfg.Structs {
+			tb := g.BydSize[c.Size]
+			if tb == nil {
+				t.Fatalf("%s missing", c.Name)
+			}
+		}
+	}
+	l2 := NewGroup(L2Config(TagCCID, false))
+	tb := l2.BydSize[memdefs.Page4K]
+	for i := 0; i < 5000; i++ {
+		tb.Insert(mkEntry(memdefs.VPN(i)*131, memdefs.PPN(i), 1, 7))
+	}
+	if occ := tb.Occupancy(); occ > 1536 {
+		t.Fatalf("occupancy %d exceeds 1536", occ)
+	}
+}

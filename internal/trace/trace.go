@@ -1,0 +1,199 @@
+// Package trace provides a lightweight event recorder for the simulator:
+// a fixed-size ring of translation events that the machine fills when
+// tracing is enabled, plus summarization helpers. It exists for
+// debugging and for the bfsim -trace flag; with tracing disabled the
+// simulator never touches it.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"babelfish/internal/memdefs"
+)
+
+// Kind labels an event.
+type Kind uint8
+
+const (
+	// EvAccess is one memory access: translation level + latency.
+	EvAccess Kind = iota
+	// EvFault is a page fault handled during an access.
+	EvFault
+	// EvSwitch is a context switch on a core.
+	EvSwitch
+)
+
+func (k Kind) String() string {
+	switch k {
+	case EvAccess:
+		return "access"
+	case EvFault:
+		return "fault"
+	case EvSwitch:
+		return "switch"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Event is one record. Fields are overloaded per kind to keep the record
+// compact (the ring can hold millions).
+type Event struct {
+	Kind   Kind
+	Core   uint8
+	Write  bool
+	Instr  bool
+	Level  uint8 // 0=L1, 1=L2, 2=walk (EvAccess)
+	PID    memdefs.PID
+	VA     memdefs.VAddr
+	Cycles memdefs.Cycles // translation latency (EvAccess) / fault cost (EvFault)
+	At     memdefs.Cycles // core clock when recorded
+}
+
+// Levels for Event.Level.
+const (
+	LevelL1 uint8 = iota
+	LevelL2
+	LevelWalk
+)
+
+// LevelName decodes Event.Level.
+func LevelName(l uint8) string {
+	switch l {
+	case LevelL1:
+		return "L1"
+	case LevelL2:
+		return "L2"
+	default:
+		return "walk"
+	}
+}
+
+// Ring is a fixed-capacity event recorder. Not safe for concurrent use
+// (the simulator is single-threaded).
+type Ring struct {
+	buf   []Event
+	next  int
+	count uint64
+}
+
+// NewRing allocates a ring holding up to n events.
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{buf: make([]Event, n)}
+}
+
+// Record appends an event, overwriting the oldest when full.
+func (r *Ring) Record(e Event) {
+	r.buf[r.next] = e
+	r.next = (r.next + 1) % len(r.buf)
+	r.count++
+}
+
+// Len returns the number of events currently held.
+func (r *Ring) Len() int {
+	if r.count < uint64(len(r.buf)) {
+		return int(r.count)
+	}
+	return len(r.buf)
+}
+
+// Total returns the number of events ever recorded.
+func (r *Ring) Total() uint64 { return r.count }
+
+// Events returns the held events oldest-first.
+func (r *Ring) Events() []Event {
+	n := r.Len()
+	out := make([]Event, 0, n)
+	start := 0
+	if r.count >= uint64(len(r.buf)) {
+		start = r.next
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, r.buf[(start+i)%len(r.buf)])
+	}
+	return out
+}
+
+// Summary aggregates the held events.
+type Summary struct {
+	Accesses     uint64
+	L1Hits       uint64
+	L2Hits       uint64
+	Walks        uint64
+	Faults       uint64
+	Switches     uint64
+	XlatCycles   memdefs.Cycles
+	FaultCycles  memdefs.Cycles
+	PerPID       map[memdefs.PID]uint64
+	HottestPages map[memdefs.VPN]uint64
+}
+
+// Summarize aggregates the ring's current contents.
+func (r *Ring) Summarize() Summary {
+	s := Summary{PerPID: map[memdefs.PID]uint64{}, HottestPages: map[memdefs.VPN]uint64{}}
+	for _, e := range r.Events() {
+		switch e.Kind {
+		case EvAccess:
+			s.Accesses++
+			s.XlatCycles += e.Cycles
+			switch e.Level {
+			case LevelL1:
+				s.L1Hits++
+			case LevelL2:
+				s.L2Hits++
+			default:
+				s.Walks++
+			}
+			s.PerPID[e.PID]++
+			s.HottestPages[memdefs.PageVPN(e.VA)]++
+		case EvFault:
+			s.Faults++
+			s.FaultCycles += e.Cycles
+		case EvSwitch:
+			s.Switches++
+		}
+	}
+	return s
+}
+
+// Dump writes the last n events (or all held, if fewer) to w, one per
+// line, oldest first.
+func (r *Ring) Dump(w io.Writer, n int) {
+	evs := r.Events()
+	if n > 0 && n < len(evs) {
+		evs = evs[len(evs)-n:]
+	}
+	for _, e := range evs {
+		switch e.Kind {
+		case EvAccess:
+			kind := "D"
+			if e.Instr {
+				kind = "I"
+			}
+			rw := "R"
+			if e.Write {
+				rw = "W"
+			}
+			fmt.Fprintf(w, "%12d core%d pid%-4d %s%s %#014x %-4s %4d cyc\n",
+				e.At, e.Core, e.PID, kind, rw, e.VA, LevelName(e.Level), e.Cycles)
+		case EvFault:
+			fmt.Fprintf(w, "%12d core%d pid%-4d FAULT %#014x %d cyc\n",
+				e.At, e.Core, e.PID, e.VA, e.Cycles)
+		case EvSwitch:
+			fmt.Fprintf(w, "%12d core%d pid%-4d SWITCH\n", e.At, e.Core, e.PID)
+		}
+	}
+}
+
+// String renders the summary.
+func (s Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "accesses=%d (L1 %d, L2 %d, walk %d) faults=%d switches=%d xlatCyc=%d faultCyc=%d pids=%d\n",
+		s.Accesses, s.L1Hits, s.L2Hits, s.Walks, s.Faults, s.Switches,
+		s.XlatCycles, s.FaultCycles, len(s.PerPID))
+	return b.String()
+}

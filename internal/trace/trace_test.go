@@ -1,0 +1,106 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"babelfish/internal/memdefs"
+)
+
+func TestRingWrapAround(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Record(Event{Kind: EvAccess, VA: memdefs.VAddr(i)})
+	}
+	if r.Len() != 4 || r.Total() != 10 {
+		t.Fatalf("len=%d total=%d", r.Len(), r.Total())
+	}
+	evs := r.Events()
+	// Oldest-first: events 6,7,8,9.
+	for i, e := range evs {
+		if e.VA != memdefs.VAddr(6+i) {
+			t.Fatalf("event %d VA=%d, want %d", i, e.VA, 6+i)
+		}
+	}
+}
+
+func TestRingPartial(t *testing.T) {
+	r := NewRing(8)
+	r.Record(Event{Kind: EvSwitch})
+	r.Record(Event{Kind: EvAccess, Level: LevelL2})
+	if r.Len() != 2 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	evs := r.Events()
+	if evs[0].Kind != EvSwitch || evs[1].Kind != EvAccess {
+		t.Fatal("order wrong")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	r := NewRing(16)
+	r.Record(Event{Kind: EvAccess, Level: LevelL1, PID: 1, VA: 0x1000, Cycles: 1})
+	r.Record(Event{Kind: EvAccess, Level: LevelL2, PID: 1, VA: 0x1040, Cycles: 11})
+	r.Record(Event{Kind: EvAccess, Level: LevelWalk, PID: 2, VA: 0x2000, Cycles: 80})
+	r.Record(Event{Kind: EvFault, PID: 2, VA: 0x2000, Cycles: 1300})
+	r.Record(Event{Kind: EvSwitch, PID: 1})
+	s := r.Summarize()
+	if s.Accesses != 3 || s.L1Hits != 1 || s.L2Hits != 1 || s.Walks != 1 {
+		t.Fatalf("access counts: %+v", s)
+	}
+	if s.Faults != 1 || s.Switches != 1 {
+		t.Fatalf("fault/switch counts: %+v", s)
+	}
+	if s.XlatCycles != 92 || s.FaultCycles != 1300 {
+		t.Fatalf("cycles: %+v", s)
+	}
+	if s.PerPID[1] != 2 || s.PerPID[2] != 1 {
+		t.Fatalf("per-pid: %+v", s.PerPID)
+	}
+	// Two accesses on the same page.
+	if s.HottestPages[memdefs.PageVPN(0x1000)] != 2 {
+		t.Fatalf("hottest: %+v", s.HottestPages)
+	}
+	if !strings.Contains(s.String(), "accesses=3") {
+		t.Fatal("summary string wrong")
+	}
+}
+
+func TestDump(t *testing.T) {
+	r := NewRing(8)
+	r.Record(Event{Kind: EvSwitch, Core: 1, PID: 7, At: 100})
+	r.Record(Event{Kind: EvAccess, Core: 1, PID: 7, VA: 0xABC000, Level: LevelWalk, Cycles: 55, At: 160, Write: true})
+	r.Record(Event{Kind: EvFault, Core: 1, PID: 7, VA: 0xABC000, Cycles: 1250, At: 170})
+	var b strings.Builder
+	r.Dump(&b, 0)
+	out := b.String()
+	for _, want := range []string{"SWITCH", "walk", "FAULT", "DW"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+	// Last-1 only.
+	b.Reset()
+	r.Dump(&b, 1)
+	if strings.Contains(b.String(), "SWITCH") {
+		t.Fatal("limited dump included older events")
+	}
+}
+
+func TestLevelNames(t *testing.T) {
+	if LevelName(LevelL1) != "L1" || LevelName(LevelL2) != "L2" || LevelName(LevelWalk) != "walk" {
+		t.Fatal("level names wrong")
+	}
+	if EvAccess.String() != "access" || EvFault.String() != "fault" || EvSwitch.String() != "switch" {
+		t.Fatal("kind names wrong")
+	}
+}
+
+func TestTinyRing(t *testing.T) {
+	r := NewRing(0) // clamps to 1
+	r.Record(Event{Kind: EvAccess, VA: 1})
+	r.Record(Event{Kind: EvAccess, VA: 2})
+	if r.Len() != 1 || r.Events()[0].VA != 2 {
+		t.Fatal("one-slot ring wrong")
+	}
+}

@@ -1,0 +1,175 @@
+package workloads
+
+import (
+	"fmt"
+
+	"babelfish/internal/kernel"
+	"babelfish/internal/memdefs"
+	"babelfish/internal/sim"
+)
+
+// FaaSGroup is the paper's serverless deployment: one CCID group holding
+// several *different* functions that share the OpenFaaS runtime image
+// (infrastructure + common libraries), each function with its own small
+// binary, input data and private state. The paper runs three functions
+// per core and finds ~90% of the shareable pte_ts are infrastructure
+// pages shared across the functions.
+type FaaSGroup struct {
+	M     *sim.Machine
+	Group *kernel.Group
+
+	Infra *kernel.File
+	Libs  *kernel.File
+	Input *kernel.File // one input dataset shared by the three functions
+	// ("the three containers access different data, but
+	// there is partial overlap in the data pages accessed")
+
+	RInfra, RLibs, RInput kernel.Region
+
+	Template *kernel.Process
+
+	fns   map[string]*faasFn
+	scale float64
+	seq   int
+
+	Tasks []*sim.Task
+}
+
+type faasFn struct {
+	behavior FuncBehavior
+	lines    int
+	bin      *kernel.File
+	rBin     kernel.Region
+	rBinData kernel.Region
+	rPrivate kernel.Region
+	rScratch kernel.Region
+}
+
+// DeployFaaS sets up the runtime image and registers the three functions
+// (Parse, Hash, Marshal), in dense or sparse variants.
+func DeployFaaS(m *sim.Machine, sparse bool, scale float64, seed uint64) (*FaaSGroup, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	fp := faasFootprint().scaled(scale)
+	k := m.Kernel
+	g := k.NewGroup("faas", seed)
+	fg := &FaaSGroup{M: m, Group: g, fns: make(map[string]*faasFn), scale: scale}
+
+	fg.Infra = k.CreateFile("faas/infra", fp.InfraPages)
+	fg.Libs = k.CreateFile("faas/libs", fp.LibPages)
+	fg.Input = k.CreateFile("faas/input", fp.DatasetPages)
+	fg.RInfra = g.Region("infra", kernel.SegInfra, fp.InfraPages)
+	fg.RLibs = g.Region("libs", kernel.SegLibs, fp.LibPages)
+	fg.RInput = g.Region("input", kernel.SegMmap, fp.DatasetPages)
+
+	behaviors := []FuncBehavior{
+		{Name: "parse", ThinkPerLine: 380, OutWriteEvery: 8},
+		{Name: "hash", ThinkPerLine: 500, OutWriteEvery: 0},
+		{Name: "marshal", ThinkPerLine: 420, OutWriteEvery: 4},
+	}
+	for _, b := range behaviors {
+		b = sparseVariant(b, fp.DatasetPages, sparse)
+		fn := &faasFn{behavior: b, lines: b.LinesPerPage}
+		fn.bin = k.CreateFile("faas/"+b.Name+"/bin", fp.BinPages+fp.BinDataPages)
+		fn.rBin = g.Region(b.Name+"/bin", kernel.SegText, fp.BinPages)
+		fn.rBinData = g.Region(b.Name+"/bindata", kernel.SegData, fp.BinDataPages)
+		fn.rPrivate = g.Region(b.Name+"/private", kernel.SegHeap, fp.PrivatePages)
+		fn.rScratch = g.Region(b.Name+"/scratch", kernel.SegStack, fp.ScratchPages)
+		fg.fns[b.Name] = fn
+	}
+
+	tmpl, err := k.CreateProcess(g, "faas-template")
+	if err != nil {
+		return nil, err
+	}
+	fg.Template = tmpl
+	fg.mapAll(tmpl)
+
+	files := []*kernel.File{fg.Infra, fg.Libs, fg.Input}
+	for _, fn := range fg.fns {
+		files = append(files, fn.bin)
+	}
+	for _, f := range files {
+		if err := f.Prefault(); err != nil {
+			return nil, err
+		}
+	}
+	return fg, nil
+}
+
+// FunctionNames returns the registered function names in a stable order.
+func (fg *FaaSGroup) FunctionNames() []string { return []string{"parse", "hash", "marshal"} }
+
+func (fg *FaaSGroup) mapAll(p *kernel.Process) {
+	fp := faasFootprint().scaled(fg.scale)
+	p.MapFile(fg.RInfra, fg.Infra, 0, permRX, true, "infra")
+	p.MapFile(fg.RLibs, fg.Libs, 0, permRX, true, "libs")
+	p.MapFile(fg.RInput, fg.Input, 0, permRO, true, "input")
+	for name, fn := range fg.fns {
+		p.MapFile(fn.rBin, fn.bin, 0, permRX, true, name+"/bin")
+		p.MapFile(fn.rBinData, fn.bin, fp.BinPages, permRW, true, name+"/bindata")
+		p.MapAnon(fn.rPrivate, permRW, name+"/private")
+		p.MapAnon(fn.rScratch, permRW, name+"/scratch")
+	}
+}
+
+// Env builds the generator environment of one function container.
+func (fg *FaaSGroup) Env(name string, p *kernel.Process) (Env, error) {
+	fn, ok := fg.fns[name]
+	if !ok {
+		return Env{}, fmt.Errorf("workloads: unknown function %q", name)
+	}
+	return Env{
+		P:    p,
+		RBin: fn.rBin, RLibs: fg.RLibs, RInfra: fg.RInfra, RBinData: fn.rBinData,
+		RDataset: fg.RInput, RPrivate: fn.rPrivate, RScratch: fn.rScratch,
+		DatasetFile: fg.Input, DatasetPerm: permRO, DatasetPrivate: true,
+	}, nil
+}
+
+// Spawn forks a function container from the runtime template and
+// schedules it. Returns the task and the fork cycles.
+func (fg *FaaSGroup) Spawn(name string, coreID int, seed uint64) (*sim.Task, memdefs.Cycles, error) {
+	fn, ok := fg.fns[name]
+	if !ok {
+		return nil, 0, fmt.Errorf("workloads: unknown function %q", name)
+	}
+	fg.seq++
+	c, forkCycles, err := fg.M.Kernel.Fork(fg.Template, fmt.Sprintf("%s-%d", name, fg.seq))
+	if err != nil {
+		return nil, 0, err
+	}
+	env, err := fg.Env(name, c)
+	if err != nil {
+		return nil, 0, err
+	}
+	bu := NewBringUpEnv(env, seed)
+	bu.noMarks = true
+	gen := NewChain(bu, newFuncGen(env, fn.behavior, fn.lines, seed))
+	task := fg.M.AddTask(coreID, c, gen)
+	fg.Tasks = append(fg.Tasks, task)
+	return task, forkCycles, nil
+}
+
+// SpawnBringUp forks a function container whose generator is the
+// `docker start` bring-up sequence; used by the bring-up experiment.
+func (fg *FaaSGroup) SpawnBringUp(name string, coreID int, seed uint64) (*sim.Task, memdefs.Cycles, error) {
+	fn, ok := fg.fns[name]
+	if !ok {
+		return nil, 0, fmt.Errorf("workloads: unknown function %q", name)
+	}
+	_ = fn
+	fg.seq++
+	c, forkCycles, err := fg.M.Kernel.Fork(fg.Template, fmt.Sprintf("%s-bringup-%d", name, fg.seq))
+	if err != nil {
+		return nil, 0, err
+	}
+	env, err := fg.Env(name, c)
+	if err != nil {
+		return nil, 0, err
+	}
+	task := fg.M.AddTask(coreID, c, NewBringUpEnv(env, seed))
+	fg.Tasks = append(fg.Tasks, task)
+	return task, forkCycles, nil
+}

@@ -1,0 +1,23 @@
+package ycsb_test
+
+import (
+	"fmt"
+
+	"babelfish/internal/ycsb"
+)
+
+// Workload A is the update-heavy mix: roughly half the operations are
+// updates.
+func Example() {
+	g, err := ycsb.New(ycsb.Config{Workload: ycsb.WorkloadA, Records: 1000, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	counts := map[ycsb.Op]int{}
+	for i := 0; i < 10000; i++ {
+		counts[g.Next().Op]++
+	}
+	fmt.Println("reads ~ updates:", counts[ycsb.OpRead] > 4000 && counts[ycsb.OpUpdate] > 4000)
+	// Output:
+	// reads ~ updates: true
+}
