@@ -229,9 +229,9 @@ func BenchmarkAblationShareLevel(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		f := k.CreateHugeFile("huge", 2048)
-		r := g.Region("huge", kernel.SegMmap, 2048)
-		v := p1.MapFile(r, f, 0, memdefs.PermRead|memdefs.PermUser, false, "huge")
+		f := k.MustCreateHugeFile("huge", 2048)
+		r := g.MustRegion("huge", kernel.SegMmap, 2048)
+		v := p1.MustMapFile(r, f, 0, memdefs.PermRead|memdefs.PermUser, false, "huge")
 		v.Huge = true
 		p2, _, err := k.Fork(p1, "c2")
 		if err != nil {
@@ -263,9 +263,9 @@ func BenchmarkAblationCoWGranularity(b *testing.B) {
 		k := kernel.New(physmem.New(256<<20), kernel.DefaultConfig(kernel.ModeBabelFish))
 		g := k.NewGroup("app", 1)
 		p1, _ := k.CreateProcess(g, "c1")
-		f := k.CreateFile("data", 64)
-		r := g.Region("data", kernel.SegData, 64)
-		p1.MapFile(r, f, 0, memdefs.PermRead|memdefs.PermWrite|memdefs.PermUser, true, "data")
+		f := k.MustCreateFile("data", 64)
+		r := g.MustRegion("data", kernel.SegData, 64)
+		p1.MustMapFile(r, f, 0, memdefs.PermRead|memdefs.PermWrite|memdefs.PermUser, true, "data")
 		p2, _, err := k.Fork(p1, "c2")
 		if err != nil {
 			b.Fatal(err)
@@ -428,9 +428,9 @@ func BenchmarkFaultMinor(b *testing.B) {
 	if pages > 100_000 {
 		pages = 100_000
 	}
-	f := k.CreateFile("data", pages)
-	r := g.Region("data", kernel.SegMmap, pages)
-	p.MapFile(r, f, 0, memdefs.PermRead|memdefs.PermUser, true, "data")
+	f := k.MustCreateFile("data", pages)
+	r := g.MustRegion("data", kernel.SegMmap, pages)
+	p.MustMapFile(r, f, 0, memdefs.PermRead|memdefs.PermUser, true, "data")
 	if err := f.Prefault(); err != nil {
 		b.Fatal(err)
 	}
@@ -452,9 +452,9 @@ func BenchmarkFork(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	f := k.CreateFile("data", 4096)
-	r := g.Region("data", kernel.SegMmap, 4096)
-	tmpl.MapFile(r, f, 0, memdefs.PermRead|memdefs.PermUser, true, "data")
+	f := k.MustCreateFile("data", 4096)
+	r := g.MustRegion("data", kernel.SegMmap, 4096)
+	tmpl.MustMapFile(r, f, 0, memdefs.PermRead|memdefs.PermUser, true, "data")
 	if err := f.Prefault(); err != nil {
 		b.Fatal(err)
 	}

@@ -7,15 +7,25 @@
 //
 //	bfsim [-app mongodb|arangodb|httpd|graphchi|fio] [-arch baseline|babelfish|both]
 //	      [-cores N] [-containers N] [-scale F] [-warm N] [-measure N] [-seed N]
+//	      [-audit] [-failnth N] [-failseed N]
+//
+// -audit cross-checks the allocator's refcounts against the kernel's page
+// tables after each run and exits non-zero on any violation. -failnth N
+// installs a deterministic fault injector that fails every Nth frame
+// allocation from prefault onwards (memory-pressure chaos; pair it with
+// -audit to verify the kernel absorbed the failures cleanly).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
 	"babelfish"
+	"babelfish/internal/faultinject"
 	"babelfish/internal/metrics"
+	"babelfish/internal/physmem"
 )
 
 func main() {
@@ -29,6 +39,9 @@ func main() {
 		measure    = flag.Uint64("measure", 1_000_000, "measured instructions per core")
 		seed       = flag.Uint64("seed", 42, "random seed")
 		traceN     = flag.Int("trace", 0, "dump the last N translation events of each run")
+		audit      = flag.Bool("audit", false, "run the kernel invariant auditor after each run; exit non-zero on violations")
+		failNth    = flag.Uint64("failnth", 0, "fail every Nth frame allocation during the measured run (0 = off)")
+		failSeed   = flag.Uint64("failseed", 1, "fault-injector seed")
 	)
 	flag.Parse()
 
@@ -55,6 +68,7 @@ func main() {
 		os.Exit(1)
 	}
 
+	auditFailed := false
 	t := metrics.NewTable(fmt.Sprintf("%s: %d cores x %d containers, scale %.2f", *app, *cores, *containers, *scale),
 		"arch", "meanLat", "p95Lat", "mpkiD", "mpkiI", "sharedD", "sharedI", "faults", "minor", "cow")
 	for _, ar := range archs {
@@ -79,9 +93,16 @@ func main() {
 				}
 			}
 		}
+		// Under injection the prefault is expected to hit OOM part-way:
+		// the remaining pages fault in during the run, under pressure.
+		if *failNth > 0 {
+			m.Mem.SetInjector(faultinject.New(faultinject.Config{Seed: *failSeed, Nth: *failNth}))
+		}
 		if err := d.PrefaultAll(); err != nil {
-			fmt.Fprintln(os.Stderr, "bfsim:", err)
-			os.Exit(1)
+			if *failNth == 0 || !errors.Is(err, physmem.ErrOutOfMemory) {
+				fmt.Fprintln(os.Stderr, "bfsim:", err)
+				os.Exit(1)
+			}
 		}
 		if err := m.Run(*warm); err != nil {
 			fmt.Fprintln(os.Stderr, "bfsim:", err)
@@ -92,10 +113,22 @@ func main() {
 			fmt.Fprintln(os.Stderr, "bfsim:", err)
 			os.Exit(1)
 		}
+		m.Mem.SetInjector(nil)
 		ag := m.Aggregate()
 		ks := m.Kernel.Stats()
 		t.Row(name, d.MeanLatency(), d.TailLatency(95), ag.MPKIData(), ag.MPKIInstr(),
 			ag.SharedHitFracD(), ag.SharedHitFracI(), ag.Faults, ks.MinorFaults, ks.CoWFaults)
+		if c := m.Counters(); c.Any() || *audit {
+			fmt.Printf("%s robustness: %s\n", name, c)
+		}
+		if *audit {
+			krep := m.Kernel.Audit()
+			mrep := m.Mem.Audit()
+			fmt.Printf("%s %s\n%s physmem audit: %s\n", name, krep, name, mrep)
+			if !krep.OK() || !mrep.OK() {
+				auditFailed = true
+			}
+		}
 		if m.Tracer != nil {
 			fmt.Printf("--- %s: last %d translation events ---\n", name, *traceN)
 			m.Tracer.Dump(os.Stdout, *traceN)
@@ -103,4 +136,8 @@ func main() {
 		}
 	}
 	fmt.Println(t)
+	if auditFailed {
+		fmt.Fprintln(os.Stderr, "bfsim: audit found invariant violations")
+		os.Exit(1)
+	}
 }

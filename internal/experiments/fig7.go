@@ -48,9 +48,17 @@ func Fig7() (*Fig7Result, error) {
 		// One shared file page: VPN0. PPN0 is in memory (page cache) but
 		// not yet marked present in any container's pte_t, exactly the
 		// paper's setup.
-		f := k.CreateFile("fig7/file", 8)
-		r := g.Region("file", kernel.SegMmap, 8)
-		tmpl.MapFile(r, f, 0, memdefs.PermRead|memdefs.PermUser, true, "file")
+		f, err := k.CreateFile("fig7/file", 8)
+		if err != nil {
+			return nil, err
+		}
+		r, err := g.Region("file", kernel.SegMmap, 8)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := tmpl.MapFile(r, f, 0, memdefs.PermRead|memdefs.PermUser, true, "file"); err != nil {
+			return nil, err
+		}
 		if err := f.Prefault(); err != nil {
 			return nil, err
 		}

@@ -1,0 +1,107 @@
+// Package faultinject provides a deterministic, seeded allocation fault
+// injector for memory-pressure chaos testing. It implements
+// physmem.Injector and is wired into a Memory with SetInjector:
+//
+//	inj := faultinject.New(faultinject.Config{Nth: 100, Seed: 42})
+//	mem.SetInjector(inj)
+//
+// Injection modes compose: an allocation fails when it matches the kind
+// filter AND lies inside the [After, ∞) window AND (it is the Nth-multiple
+// allocation OR the seeded coin flip at probability Prob comes up heads),
+// until MaxFaults failures have been injected. With the zero Config no
+// allocation ever fails. Decisions are pure functions of (Config, seq), so
+// identical runs inject identical faults regardless of goroutine timing.
+package faultinject
+
+import (
+	"sync/atomic"
+
+	"babelfish/internal/physmem"
+)
+
+// Config selects what to fail.
+type Config struct {
+	// Seed drives the probabilistic mode's hash; unused when Prob == 0.
+	Seed uint64
+	// Nth, when > 0, fails every allocation whose sequence number is a
+	// multiple of Nth.
+	Nth uint64
+	// Prob, when > 0, fails each allocation with this probability
+	// (deterministically derived from Seed and the sequence number).
+	Prob float64
+	// Kind, when not FrameFree, restricts injection to allocations of
+	// that frame kind (FrameFree — the zero value — matches every kind,
+	// since no allocation ever requests a free frame).
+	Kind physmem.FrameKind
+	// After, when > 0, suppresses injection for the first After
+	// allocations — lets a workload deploy before the pressure starts.
+	After uint64
+	// MaxFaults, when > 0, stops injecting after that many failures.
+	MaxFaults uint64
+}
+
+// Injector is a deterministic physmem.Injector.
+type Injector struct {
+	cfg      Config
+	injected atomic.Uint64
+}
+
+// New builds an injector from cfg.
+func New(cfg Config) *Injector { return &Injector{cfg: cfg} }
+
+// EveryNth returns an injector failing every nth allocation.
+func EveryNth(n uint64) *Injector { return New(Config{Nth: n}) }
+
+// WithProb returns an injector failing each allocation with probability p,
+// deterministically derived from seed.
+func WithProb(p float64, seed uint64) *Injector { return New(Config{Prob: p, Seed: seed}) }
+
+// KindOnly returns a copy of the injector restricted to one frame kind.
+func (i *Injector) KindOnly(kind physmem.FrameKind) *Injector {
+	cfg := i.cfg
+	cfg.Kind = kind
+	return New(cfg)
+}
+
+// Injected reports how many allocations this injector has failed.
+func (i *Injector) Injected() uint64 { return i.injected.Load() }
+
+// splitmix64 is the same deterministic hash the kernel's ASLR uses.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// FailAlloc implements physmem.Injector. It is called with the Memory's
+// lock held, so it must stay allocation-free and must not call back into
+// the Memory.
+func (i *Injector) FailAlloc(seq uint64, kind physmem.FrameKind) bool {
+	c := &i.cfg
+	if c.Kind != physmem.FrameFree && kind != c.Kind {
+		return false
+	}
+	if seq <= c.After {
+		return false
+	}
+	if c.MaxFaults > 0 && i.injected.Load() >= c.MaxFaults {
+		return false
+	}
+	fail := false
+	if c.Nth > 0 && seq%c.Nth == 0 {
+		fail = true
+	}
+	if !fail && c.Prob > 0 {
+		// 53-bit uniform in [0,1) from the seeded hash of the sequence
+		// number: independent of call interleaving.
+		u := float64(splitmix64(c.Seed^seq)>>11) / (1 << 53)
+		fail = u < c.Prob
+	}
+	if fail {
+		i.injected.Add(1)
+	}
+	return fail
+}
+
+var _ physmem.Injector = (*Injector)(nil)

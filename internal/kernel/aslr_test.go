@@ -69,12 +69,12 @@ func TestHWProcessLayoutsDiffer(t *testing.T) {
 func TestChunkedRegion(t *testing.T) {
 	k := newKernel(t, ModeBaseline)
 	g := k.NewGroup("app", 1)
-	r := g.ChunkedRegion("ds", SegMmap, 1000, 256, 1<<30)
+	r := g.MustChunkedRegion("ds", SegMmap, 1000, 256, 1<<30)
 	if !r.Chunked() || len(r.ChunkStarts) != 4 {
 		t.Fatalf("chunks = %d", len(r.ChunkStarts))
 	}
 	// Idempotent.
-	r2 := g.ChunkedRegion("ds", SegMmap, 1000, 256, 1<<30)
+	r2 := g.MustChunkedRegion("ds", SegMmap, 1000, 256, 1<<30)
 	if r2.ChunkStarts[0] != r.ChunkStarts[0] {
 		t.Fatal("chunked region not idempotent")
 	}
@@ -101,8 +101,8 @@ func TestChunkedRegion(t *testing.T) {
 func TestRegionsNeverSharePTETables(t *testing.T) {
 	k := newKernel(t, ModeBaseline)
 	g := k.NewGroup("app", 1)
-	r1 := g.Region("a", SegHeap, 10)
-	r2 := g.Region("b", SegHeap, 10)
+	r1 := g.MustRegion("a", SegHeap, 10)
+	r2 := g.MustRegion("b", SegHeap, 10)
 	if uint64(r1.End()-1)>>memdefs.HugePageShift2M == uint64(r2.Start)>>memdefs.HugePageShift2M {
 		t.Fatal("two regions share a 2MB-aligned PTE-table range")
 	}
@@ -111,13 +111,13 @@ func TestRegionsNeverSharePTETables(t *testing.T) {
 func TestRegionRedefinitionPanics(t *testing.T) {
 	k := newKernel(t, ModeBaseline)
 	g := k.NewGroup("app", 1)
-	g.Region("x", SegHeap, 10)
+	g.MustRegion("x", SegHeap, 10)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("redefinition accepted")
 		}
 	}()
-	g.Region("x", SegHeap, 20)
+	g.MustRegion("x", SegHeap, 20)
 }
 
 func TestPCIDsAndCCIDsUnique(t *testing.T) {

@@ -8,73 +8,93 @@ import (
 	"babelfish/internal/physmem"
 )
 
-func TestMapFileBeyondFilePanics(t *testing.T) {
+func TestMapFileBeyondFileErrors(t *testing.T) {
 	k := newKernel(t, ModeBaseline)
 	g := k.NewGroup("app", 40)
 	p := mustProc(t, k, g, "c1")
-	f := k.CreateFile("small", 4)
-	r := g.Region("big", SegMmap, 16)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("mapping beyond file accepted")
-		}
-	}()
-	p.MapFile(r, f, 0, ro, true, "big")
+	f := k.MustCreateFile("small", 4)
+	r := g.MustRegion("big", SegMmap, 16)
+	if _, err := p.MapFile(r, f, 0, ro, true, "big"); err == nil {
+		t.Fatal("mapping beyond file accepted")
+	}
+	if len(p.VMAs()) != 0 {
+		t.Fatal("failed MapFile left a VMA behind")
+	}
 }
 
-func TestOverlappingVMAPanics(t *testing.T) {
+func TestOverlappingVMAErrors(t *testing.T) {
 	k := newKernel(t, ModeBaseline)
 	g := k.NewGroup("app", 41)
 	p := mustProc(t, k, g, "c1")
-	r := g.Region("a", SegHeap, 8)
-	p.MapAnon(r, rw, "a")
-	defer func() {
-		if recover() == nil {
-			t.Fatal("overlapping VMA accepted")
-		}
-	}()
+	r := g.MustRegion("a", SegHeap, 8)
+	p.MustMapAnon(r, rw, "a")
 	sub := Region{Name: "overlap", Seg: SegHeap, Start: r.Start + memdefs.PageSize, Pages: 2}
-	p.MapAnon(sub, rw, "overlap")
+	if _, err := p.MapAnon(sub, rw, "overlap"); err == nil {
+		t.Fatal("overlapping VMA accepted")
+	}
+	if got := len(p.VMAs()); got != 1 {
+		t.Fatalf("VMA count after rejected overlap = %d, want 1", got)
+	}
 }
 
-func TestDuplicateFilePanics(t *testing.T) {
+func TestDuplicateFileErrors(t *testing.T) {
 	k := newKernel(t, ModeBaseline)
-	k.CreateFile("x", 4)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("duplicate file accepted")
-		}
-	}()
-	k.CreateFile("x", 8)
+	k.MustCreateFile("x", 4)
+	if _, err := k.CreateFile("x", 8); err == nil {
+		t.Fatal("duplicate file accepted")
+	}
+	if _, err := k.CreateFile("bad", 0); err == nil {
+		t.Fatal("zero-page file accepted")
+	}
+}
+
+func TestRegionMisuseErrors(t *testing.T) {
+	k := newKernel(t, ModeBaseline)
+	g := k.NewGroup("app", 46)
+	g.MustRegion("a", SegHeap, 8)
+	if _, err := g.Region("a", SegHeap, 16); err == nil {
+		t.Fatal("redefinition with a different shape accepted")
+	}
+	if _, err := g.Region("a", SegHeap, 8); err != nil {
+		t.Fatalf("idempotent redefinition rejected: %v", err)
+	}
+	if _, err := g.Region("b", SegHeap, 0); err == nil {
+		t.Fatal("zero-page region accepted")
+	}
+	// Exhaust the segment: the failing call must not advance the cursor,
+	// so a smaller region still fits afterwards.
+	if _, err := g.Region("huge", SegStack, 1<<40); err == nil {
+		t.Fatal("segment-exhausting region accepted")
+	}
+	if _, err := g.Region("small", SegStack, 8); err != nil {
+		t.Fatalf("small region after rejected overflow: %v", err)
+	}
 }
 
 func TestHugeFileAPIMisuse(t *testing.T) {
 	k := newKernel(t, ModeBaseline)
-	hf := k.CreateHugeFile("h", 1024)
+	hf := k.MustCreateHugeFile("h", 1024)
 	if _, _, err := hf.Frame(0); err == nil {
 		t.Error("Frame on huge file succeeded")
 	}
-	rf := k.CreateFile("r", 8)
+	rf := k.MustCreateFile("r", 8)
 	if _, _, err := rf.HugeFrame(0); err == nil {
 		t.Error("HugeFrame on regular file succeeded")
 	}
 	if _, _, err := hf.HugeFrame(99); err == nil {
 		t.Error("out-of-range block accepted")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("unaligned huge file accepted")
-		}
-	}()
-	k.CreateHugeFile("bad", 100)
+	if _, err := k.CreateHugeFile("bad", 100); err == nil {
+		t.Error("unaligned huge file accepted")
+	}
 }
 
 func TestExitIdempotentAndDeadProcessFaults(t *testing.T) {
 	k := newKernel(t, ModeBabelFish)
 	g := k.NewGroup("app", 42)
 	p := mustProc(t, k, g, "c1")
-	r := g.Region("x", SegHeap, 8)
-	p.MapAnon(r, rw, "x")
+	r := g.MustRegion("x", SegHeap, 8)
+	p.MustMapAnon(r, rw, "x")
 	mustFault(t, k, p, r.Start, true)
 	pid := p.PID
 	p.Exit()
@@ -96,8 +116,8 @@ func TestCharacterizationCountsHugeAsTHP(t *testing.T) {
 	k := New(physmem.New(512<<20), cfg)
 	g := k.NewGroup("app", 43)
 	p := mustProc(t, k, g, "c1")
-	r := g.Region("buf", SegHeap, 1024)
-	p.MapAnon(r, rw, "buf")
+	r := g.MustRegion("buf", SegHeap, 1024)
+	p.MustMapAnon(r, rw, "buf")
 	mustFault(t, k, p, r.Start, true)
 	c := k.CharacterizeGroup(g)
 	if c.TotalTHP != 1 {
@@ -116,8 +136,8 @@ func TestZeroPageNeverFreed(t *testing.T) {
 	k := newKernel(t, ModeBaseline)
 	g := k.NewGroup("app", 44)
 	p := mustProc(t, k, g, "c1")
-	r := g.Region("x", SegHeap, 8)
-	p.MapAnon(r, rw, "x")
+	r := g.MustRegion("x", SegHeap, 8)
+	p.MustMapAnon(r, rw, "x")
 	for i := 0; i < 8; i++ {
 		mustFault(t, k, p, r.PageVA(i), false) // all map the zero page
 	}
@@ -134,9 +154,9 @@ func TestSetPMDORPCIdempotent(t *testing.T) {
 	k := newKernel(t, ModeBabelFish)
 	g := k.NewGroup("app", 45)
 	p := mustProc(t, k, g, "c1")
-	f := k.CreateFile("x", 8)
-	r := g.Region("x", SegMmap, 8)
-	p.MapFile(r, f, 0, ro, true, "x")
+	f := k.MustCreateFile("x", 8)
+	r := g.MustRegion("x", SegMmap, 8)
+	p.MustMapFile(r, f, 0, ro, true, "x")
 	mustFault(t, k, p, r.Start, false)
 	k.setPMDORPC(p, r.Start, true)
 	tbl := p.Tables.TableAt(r.Start, memdefs.LvlPMD)

@@ -196,7 +196,7 @@ func (k *Kernel) demand4K(p *Process, vma *VMA, gva, va memdefs.VAddr, write boo
 				return cycles, nil
 			}
 		}
-		frame, err := k.allocDataFrame()
+		frame, err := k.allocFrame(physmem.FrameData)
 		if err != nil {
 			return cycles, err
 		}
@@ -245,7 +245,7 @@ func (k *Kernel) demand4K(p *Process, vma *VMA, gva, va memdefs.VAddr, write boo
 				return cycles, nil
 			}
 		}
-		copyFrame, err := k.allocDataFrame()
+		copyFrame, err := k.allocFrame(physmem.FrameData)
 		if err != nil {
 			return cycles, err
 		}
@@ -274,7 +274,7 @@ func (k *Kernel) demand4K(p *Process, vma *VMA, gva, va memdefs.VAddr, write boo
 		// A sole-member private write still must not dirty the page
 		// cache: give the writer its own copy.
 		if write {
-			copyFrame, err := k.allocDataFrame()
+			copyFrame, err := k.allocFrame(physmem.FrameData)
 			if err != nil {
 				return cycles, err
 			}
@@ -367,7 +367,10 @@ func (k *Kernel) ensureOwnedTable(p *Process, gva memdefs.VAddr) (memdefs.Cycles
 	}
 
 	// Assign the PC bit.
-	mp := g.maskPageFor(memdefs.PageVPN(gva), true)
+	mp, err := g.maskPageFor(memdefs.PageVPN(gva), true)
+	if err != nil {
+		return cycles, 0, err
+	}
 	bit, ok := mp.bitOf(p.PID)
 	if !ok {
 		if len(mp.pids) >= memdefs.PCBitmaskBits {
@@ -402,7 +405,7 @@ func (k *Kernel) ensureOwnedTable(p *Process, gva memdefs.VAddr) (memdefs.Cycles
 	}
 
 	// Build the private copy of the PTE table.
-	newTbl, err := k.Mem.Alloc(physmem.FrameTable)
+	newTbl, err := k.allocFrame(physmem.FrameTable)
 	if err != nil {
 		return cycles, 0, err
 	}
@@ -427,6 +430,9 @@ func (k *Kernel) ensureOwnedTable(p *Process, gva memdefs.VAddr) (memdefs.Cycles
 	// Rewire this process's pmd_t.
 	pmdTable, err := p.Tables.EnsureTable(gva, memdefs.LvlPMD)
 	if err != nil {
+		// Drop the private copy and the data references it took, or an
+		// OOM mid-CoW leaks the whole table.
+		k.releaseSharedTableAtLevel(newTbl, memdefs.LvlPTE)
 		return cycles, 0, err
 	}
 	old := pgtable.Entry(k.Mem.ReadEntry(pmdTable, pmdIdx))
@@ -445,7 +451,10 @@ func (k *Kernel) ensureOwnedTable(p *Process, gva memdefs.VAddr) (memdefs.Cycles
 // reverted to private translations instead.
 func (k *Kernel) assignPCBit(p *Process, gva memdefs.VAddr) (reverted bool, cycles memdefs.Cycles, err error) {
 	g := p.Group
-	mp := g.maskPageFor(memdefs.PageVPN(gva), true)
+	mp, err := g.maskPageFor(memdefs.PageVPN(gva), true)
+	if err != nil {
+		return false, 0, err
+	}
 	bit, ok := mp.bitOf(p.PID)
 	if !ok {
 		if len(mp.pids) >= memdefs.PCBitmaskBits {
@@ -527,7 +536,7 @@ func (k *Kernel) cowBreak4K(p *Process, vma *VMA, gva, va memdefs.VAddr) (memdef
 		// Sole owner: upgrade in place.
 		k.Mem.WriteEntry(table, idx, uint64(pgtable.MakeEntry(old, newFlags)))
 	} else {
-		frame, err := k.allocDataFrame()
+		frame, err := k.allocFrame(physmem.FrameData)
 		if err != nil {
 			return cycles, err
 		}
@@ -602,7 +611,7 @@ func (k *Kernel) revertRegion(g *Group, gva memdefs.VAddr) (memdefs.Cycles, erro
 			if m.Tables.TableAt(rgva, memdefs.LvlPTE) != sharedTbl {
 				continue
 			}
-			newTbl, err := k.Mem.Alloc(physmem.FrameTable)
+			newTbl, err := k.allocFrame(physmem.FrameTable)
 			if err != nil {
 				return cycles, err
 			}
@@ -620,6 +629,7 @@ func (k *Kernel) revertRegion(g *Group, gva memdefs.VAddr) (memdefs.Cycles, erro
 			}
 			pmdTable, err := m.Tables.EnsureTable(rgva, memdefs.LvlPMD)
 			if err != nil {
+				k.releaseSharedTableAtLevel(newTbl, memdefs.LvlPTE)
 				return cycles, err
 			}
 			pmdIdx := memdefs.LvlPMD.Index(rgva)
@@ -665,7 +675,7 @@ func (k *Kernel) revertRegionPMD(g *Group, gva memdefs.VAddr, cycles memdefs.Cyc
 				continue
 			}
 			child := e.PPN()
-			newTbl, err := k.Mem.Alloc(physmem.FrameTable)
+			newTbl, err := k.allocFrame(physmem.FrameTable)
 			if err != nil {
 				return cycles, err
 			}
@@ -765,6 +775,7 @@ func (k *Kernel) faultHuge(p *Process, vma *VMA, gva, va memdefs.VAddr, write bo
 		}
 		k.Mem.Ref(base)
 		if err := p.Tables.SetEntry(hgva, memdefs.LvlPMD, pgtable.MakeEntry(base, flags|k.ownedFlag())); err != nil {
+			k.Mem.Unref(base) // drop the entry's reference, or a failed install leaks it
 			return cycles, err
 		}
 		k.stats.PrivateInstalls++
@@ -777,7 +788,7 @@ func (k *Kernel) faultHuge(p *Process, vma *VMA, gva, va memdefs.VAddr, write bo
 		p.Tables.TableAt(hgva, memdefs.LvlPMD) == shared {
 		return cycles, fmt.Errorf("kernel: anonymous THP region %q overlaps a PMD-shared 1GB region; place huge file mappings and THP regions in different segments", vma.Name)
 	}
-	base, err := k.Mem.AllocBlock(physmem.FrameData)
+	base, err := k.allocBlock(physmem.FrameData)
 	if err != nil {
 		return cycles, err
 	}
@@ -789,6 +800,7 @@ func (k *Kernel) faultHuge(p *Process, vma *VMA, gva, va memdefs.VAddr, write bo
 		flags |= pgtable.FlagNX
 	}
 	if err := p.Tables.SetEntry(hgva, memdefs.LvlPMD, pgtable.MakeEntry(base, flags)); err != nil {
+		k.Mem.Unref(base) // the fresh block is unreachable if the install failed
 		return cycles, err
 	}
 	k.stats.ZeroFillFaults++
@@ -813,12 +825,13 @@ func (k *Kernel) cowBreakHuge(p *Process, vma *VMA, hgva, va memdefs.VAddr) (mem
 			return cycles, err
 		}
 	} else {
-		base, err := k.Mem.AllocBlock(physmem.FrameData)
+		base, err := k.allocBlock(physmem.FrameData)
 		if err != nil {
 			return cycles, err
 		}
 		cycles += k.Cfg.Costs.CoWCopyPage * 128 // streamed 2MB copy
 		if err := p.Tables.SetEntry(hgva, memdefs.LvlPMD, pgtable.MakeEntry(base, flags)); err != nil {
+			k.Mem.Unref(base) // the copy is unreachable if the install failed
 			return cycles, err
 		}
 		k.Mem.Unref(old)

@@ -20,34 +20,68 @@ type File struct {
 	Huge   bool
 	frames []memdefs.PPN // 0 = not resident (regular files)
 	blocks []memdefs.PPN // 0 = not resident (huge files; one per 2MB)
-	kern   *Kernel
+	// ticks / blockTicks record the kernel LRU clock at each page's last
+	// touch; reclaim evicts the oldest clean pages first.
+	ticks      []uint64
+	blockTicks []uint64
+	kern       *Kernel
 }
 
-// CreateFile registers a file of the given size in pages.
-func (k *Kernel) CreateFile(name string, pages int) *File {
+// CreateFile registers a file of the given size in pages. A non-positive
+// size or a duplicate name is a caller error.
+func (k *Kernel) CreateFile(name string, pages int) (*File, error) {
 	if pages <= 0 {
-		panic(fmt.Sprintf("kernel: file %q with %d pages", name, pages))
+		return nil, fmt.Errorf("kernel: file %q with %d pages", name, pages)
 	}
 	if _, dup := k.files[name]; dup {
-		panic(fmt.Sprintf("kernel: duplicate file %q", name))
+		return nil, fmt.Errorf("kernel: duplicate file %q", name)
 	}
-	f := &File{Name: name, Pages: pages, frames: make([]memdefs.PPN, pages), kern: k}
+	f := &File{
+		Name: name, Pages: pages,
+		frames: make([]memdefs.PPN, pages),
+		ticks:  make([]uint64, pages),
+		kern:   k,
+	}
 	k.files[name] = f
+	return f, nil
+}
+
+// MustCreateFile is CreateFile for tests and static deploy scripts.
+func (k *Kernel) MustCreateFile(name string, pages int) *File {
+	f, err := k.CreateFile(name, pages)
+	if err != nil {
+		bug("MustCreateFile: %v", err)
+	}
 	return f
 }
 
 // CreateHugeFile registers a file whose page cache is kept in 2MB blocks
 // (pages must be a multiple of 512). Used for huge file mappings that
 // exercise BabelFish's PMD-table merging.
-func (k *Kernel) CreateHugeFile(name string, pages int) *File {
+func (k *Kernel) CreateHugeFile(name string, pages int) (*File, error) {
 	if pages <= 0 || pages%memdefs.TableSize != 0 {
-		panic(fmt.Sprintf("kernel: huge file %q needs a multiple of 512 pages, got %d", name, pages))
+		return nil, fmt.Errorf("kernel: huge file %q needs a multiple of 512 pages, got %d", name, pages)
 	}
 	if _, dup := k.files[name]; dup {
-		panic(fmt.Sprintf("kernel: duplicate file %q", name))
+		return nil, fmt.Errorf("kernel: duplicate file %q", name)
 	}
-	f := &File{Name: name, Pages: pages, Huge: true, blocks: make([]memdefs.PPN, pages/memdefs.TableSize), kern: k}
+	nBlocks := pages / memdefs.TableSize
+	f := &File{
+		Name: name, Pages: pages, Huge: true,
+		blocks:     make([]memdefs.PPN, nBlocks),
+		blockTicks: make([]uint64, nBlocks),
+		kern:       k,
+	}
 	k.files[name] = f
+	return f, nil
+}
+
+// MustCreateHugeFile is CreateHugeFile for tests and static deploy scripts.
+func (k *Kernel) MustCreateHugeFile(name string, pages int) *File {
+	f, err := k.CreateHugeFile(name, pages)
+	if err != nil {
+		bug("MustCreateHugeFile: %v", err)
+	}
 	return f
 }
 
@@ -60,10 +94,11 @@ func (f *File) HugeFrame(idx int) (base memdefs.PPN, major bool, err error) {
 	if idx < 0 || idx >= len(f.blocks) {
 		return 0, false, fmt.Errorf("kernel: file %q block %d out of range (%d blocks)", f.Name, idx, len(f.blocks))
 	}
+	f.blockTicks[idx] = f.kern.touch()
 	if f.blocks[idx] != 0 {
 		return f.blocks[idx], false, nil
 	}
-	base, err = f.kern.Mem.AllocBlock(physmem.FrameData)
+	base, err = f.kern.allocBlock(physmem.FrameData)
 	if err != nil {
 		return 0, false, err
 	}
@@ -91,10 +126,11 @@ func (f *File) Frame(idx int) (ppn memdefs.PPN, major bool, err error) {
 	if idx < 0 || idx >= f.Pages {
 		return 0, false, fmt.Errorf("kernel: file %q page %d out of range (%d pages)", f.Name, idx, f.Pages)
 	}
+	f.ticks[idx] = f.kern.touch()
 	if f.frames[idx] != 0 {
 		return f.frames[idx], false, nil
 	}
-	ppn, err = f.kern.allocDataFrame()
+	ppn, err = f.kern.allocFrame(physmem.FrameData)
 	if err != nil {
 		return 0, false, err
 	}
@@ -153,53 +189,4 @@ func (f *File) Drop() {
 			f.blocks[i] = 0
 		}
 	}
-}
-
-// Reclaim evicts up to n clean page-cache frames that no process maps
-// (reference count 1 — only the cache holds them), oldest files first.
-// It returns the number of frames freed. The fault paths call this when
-// physical memory runs out, modelling kernel page reclaim; evicted pages
-// cost a fresh major fault on the next touch.
-func (k *Kernel) Reclaim(n int) int {
-	freed := 0
-	for _, f := range k.files {
-		if freed >= n {
-			break
-		}
-		for i, ppn := range f.frames {
-			if freed >= n {
-				break
-			}
-			if ppn != 0 && k.Mem.Refs(ppn) == 1 {
-				k.Mem.Unref(ppn)
-				f.frames[i] = 0
-				freed++
-			}
-		}
-		for i, base := range f.blocks {
-			if freed >= n {
-				break
-			}
-			if base != 0 && k.Mem.Refs(base) == 1 {
-				k.Mem.Unref(base)
-				f.blocks[i] = 0
-				freed += 512
-			}
-		}
-	}
-	k.stats.Reclaimed += uint64(freed)
-	return freed
-}
-
-// allocDataFrame allocates a data frame, reclaiming page cache under
-// memory pressure before giving up.
-func (k *Kernel) allocDataFrame() (memdefs.PPN, error) {
-	ppn, err := k.Mem.Alloc(physmem.FrameData)
-	if err == nil {
-		return ppn, nil
-	}
-	if k.Reclaim(256) == 0 {
-		return 0, err
-	}
-	return k.Mem.Alloc(physmem.FrameData)
 }

@@ -5,6 +5,7 @@ import (
 
 	"babelfish/internal/memdefs"
 	"babelfish/internal/pgtable"
+	"babelfish/internal/physmem"
 )
 
 // CreateProcess creates the first process of a group (the container
@@ -13,6 +14,11 @@ func (k *Kernel) CreateProcess(g *Group, name string) (*Process, error) {
 	tables, err := pgtable.New(k.Mem)
 	if err != nil {
 		return nil, err
+	}
+	// Intermediate table frames go through the reclaiming allocator so
+	// page-table growth also survives memory pressure.
+	tables.AllocTable = func() (memdefs.PPN, error) {
+		return k.allocFrame(physmem.FrameTable)
 	}
 	p := &Process{
 		PID:    k.nextPID,
@@ -66,6 +72,9 @@ func (k *Kernel) Fork(parent *Process, name string) (*Process, memdefs.Cycles, e
 	if k.Cfg.Mode == ModeBabelFish {
 		c, err := k.forkShared(parent, child)
 		if err != nil {
+			// Unwind the half-built child: Exit releases whatever tables
+			// and references it accumulated before the failure.
+			child.Exit()
 			return nil, 0, err
 		}
 		cycles += c
@@ -74,6 +83,7 @@ func (k *Kernel) Fork(parent *Process, name string) (*Process, memdefs.Cycles, e
 
 	c, err := k.forkCopy(parent, child)
 	if err != nil {
+		child.Exit()
 		return nil, 0, err
 	}
 	cycles += c
@@ -277,7 +287,7 @@ func (k *Kernel) sweepSharedCoW(parent *Process) memdefs.Cycles {
 // orpcFor reports whether any process holds a private copy in the 2MB
 // region (the region's PC bitmask is non-zero).
 func (g *Group) orpcFor(gva memdefs.VAddr) bool {
-	mp := g.maskPageFor(memdefs.PageVPN(gva), false)
+	mp, _ := g.maskPageFor(memdefs.PageVPN(gva), false) // lookup-only: cannot fail
 	if mp == nil {
 		return false
 	}

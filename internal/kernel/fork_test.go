@@ -13,9 +13,9 @@ func TestForkFromDivergedParent(t *testing.T) {
 	k := newKernel(t, ModeBabelFish)
 	g := k.NewGroup("app", 3)
 	p1 := mustProc(t, k, g, "c1")
-	f := k.CreateFile("bin", 16)
-	r := g.Region("data", SegData, 16)
-	p1.MapFile(r, f, 0, rw, true, "data")
+	f := k.MustCreateFile("bin", 16)
+	r := g.MustRegion("data", SegData, 16)
+	p1.MustMapFile(r, f, 0, rw, true, "data")
 	p2, _, err := k.Fork(p1, "c2")
 	if err != nil {
 		t.Fatal(err)
@@ -58,8 +58,8 @@ func TestForkSweepDowngradesTemplateWrites(t *testing.T) {
 	k := newKernel(t, ModeBabelFish)
 	g := k.NewGroup("app", 4)
 	tmpl := mustProc(t, k, g, "tmpl")
-	r := g.Region("heap", SegHeap, 8)
-	tmpl.MapAnon(r, rw, "heap")
+	r := g.MustRegion("heap", SegHeap, 8)
+	tmpl.MustMapAnon(r, rw, "heap")
 	mustFault(t, k, tmpl, r.Start, true)
 	if !leaf(t, tmpl, r.Start).Writable() {
 		t.Fatal("sole member's write not writable")
@@ -81,9 +81,9 @@ func TestForkCostsScaleWithState(t *testing.T) {
 		k := newKernel(t, mode)
 		g := k.NewGroup("app", 5)
 		p := mustProc(t, k, g, "tmpl")
-		f := k.CreateFile("data", pages)
-		r := g.Region("data", SegMmap, pages)
-		p.MapFile(r, f, 0, ro, true, "data")
+		f := k.MustCreateFile("data", pages)
+		r := g.MustRegion("data", SegMmap, pages)
+		p.MustMapFile(r, f, 0, ro, true, "data")
 		for i := 0; i < pages; i++ {
 			mustFault(t, k, p, r.Start+memdefs.VAddr(i)*memdefs.PageSize, false)
 		}
@@ -109,9 +109,9 @@ func TestTableCensusDedupsSharedTables(t *testing.T) {
 	k := newKernel(t, ModeBabelFish)
 	g := k.NewGroup("app", 6)
 	p1 := mustProc(t, k, g, "c1")
-	f := k.CreateFile("lib", 16)
-	r := g.Region("lib", SegLibs, 16)
-	p1.MapFile(r, f, 0, rx, true, "lib")
+	f := k.MustCreateFile("lib", 16)
+	r := g.MustRegion("lib", SegLibs, 16)
+	p1.MustMapFile(r, f, 0, rx, true, "lib")
 	mustFault(t, k, p1, r.Start, false)
 	before := k.TableCensus()
 	p2, _, err := k.Fork(p1, "c2")
@@ -135,9 +135,9 @@ func TestMaskPageRegionsIndependent(t *testing.T) {
 	k := newKernel(t, ModeBabelFish)
 	g := k.NewGroup("app", 7)
 	tmpl := mustProc(t, k, g, "tmpl")
-	f := k.CreateFile("bin", 32)
+	f := k.MustCreateFile("bin", 32)
 	// Two regions 1GB apart via a chunked region.
-	r := g.ChunkedRegion("data", SegData, 32, 16, 1<<30)
+	r := g.MustChunkedRegion("data", SegData, 32, 16, 1<<30)
 	mapChunksForTest(tmpl, r, f)
 	c1, _, err := k.Fork(tmpl, "c1")
 	if err != nil {
@@ -154,8 +154,8 @@ func TestMaskPageRegionsIndependent(t *testing.T) {
 	// c1 writes in region A only; c2 writes in region B only.
 	mustFault(t, k, c1, gvaA, true)
 	mustFault(t, k, c2, gvaB, true)
-	mpA := g.maskPageFor(memdefs.PageVPN(gvaA), false)
-	mpB := g.maskPageFor(memdefs.PageVPN(gvaB), false)
+	mpA, _ := g.maskPageFor(memdefs.PageVPN(gvaA), false)
+	mpB, _ := g.maskPageFor(memdefs.PageVPN(gvaB), false)
 	if mpA == nil || mpB == nil || mpA == mpB {
 		t.Fatal("regions share a MaskPage")
 	}
@@ -180,6 +180,6 @@ func mapChunksForTest(p *Process, r Region, f *File) {
 			n = r.Pages - c*r.ChunkPages
 		}
 		sub := Region{Name: r.Name, Seg: r.Seg, Start: start, Pages: n}
-		p.MapFile(sub, f, c*r.ChunkPages, memdefs.PermRead|memdefs.PermWrite|memdefs.PermUser, true, "chunk")
+		p.MustMapFile(sub, f, c*r.ChunkPages, memdefs.PermRead|memdefs.PermWrite|memdefs.PermUser, true, "chunk")
 	}
 }

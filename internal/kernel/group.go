@@ -101,17 +101,19 @@ func (g *Group) teardown() {
 // first use. Every process of the group sees the same group-VA range, so
 // replicated containers running the same program get identical layouts.
 // Regions are 2MB-aligned (and padded) so distinct regions never share a
-// PTE table.
-func (g *Group) Region(name string, seg Seg, pages int) Region {
+// PTE table. Redefining a name with a different shape, asking for a
+// non-positive size, or exhausting the segment's address span are caller
+// errors, not kernel bugs.
+func (g *Group) Region(name string, seg Seg, pages int) (Region, error) {
 	if r, ok := g.regions[name]; ok {
 		if r.Pages != pages || r.Seg != seg {
-			panic(fmt.Sprintf("kernel: region %q redefined (%v/%d vs %v/%d)",
-				name, r.Seg, r.Pages, seg, pages))
+			return Region{}, fmt.Errorf("kernel: region %q redefined (%v/%d vs %v/%d)",
+				name, r.Seg, r.Pages, seg, pages)
 		}
-		return r
+		return r, nil
 	}
 	if pages <= 0 {
-		panic(fmt.Sprintf("kernel: region %q with %d pages", name, pages))
+		return Region{}, fmt.Errorf("kernel: region %q with %d pages", name, pages)
 	}
 	start := g.segCursor[seg]
 	// Align to 2MB.
@@ -119,12 +121,23 @@ func (g *Group) Region(name string, seg Seg, pages int) Region {
 	start = (start + hugeMask) &^ memdefs.VAddr(hugeMask)
 	end := start + memdefs.VAddr(pages)*memdefs.PageSize
 	end = (end + hugeMask) &^ memdefs.VAddr(hugeMask)
-	g.segCursor[seg] = end + memdefs.HugePageSize2M // guard gap
-	if g.segCursor[seg] >= segBases[seg]+segSpan {
-		panic(fmt.Sprintf("kernel: segment %v exhausted in group %q", seg, g.Name))
+	next := end + memdefs.HugePageSize2M // guard gap
+	if next >= segBases[seg]+segSpan {
+		return Region{}, fmt.Errorf("kernel: segment %v exhausted in group %q", seg, g.Name)
 	}
+	g.segCursor[seg] = next
 	r := Region{Name: name, Seg: seg, Start: start, Pages: pages}
 	g.regions[name] = r
+	return r, nil
+}
+
+// MustRegion is Region for tests and static deploy scripts; it treats
+// failure as an invariant violation.
+func (g *Group) MustRegion(name string, seg Seg, pages int) Region {
+	r, err := g.Region(name, seg, pages)
+	if err != nil {
+		bug("MustRegion: %v", err)
+	}
 	return r
 }
 
@@ -132,20 +145,23 @@ func (g *Group) Region(name string, seg Seg, pages int) Region {
 // placed gapBytes apart (1GB gaps put every chunk under its own PMD
 // table and PUD entry, modelling address-space-spread mappings). The
 // result is idempotent per name.
-func (g *Group) ChunkedRegion(name string, seg Seg, pages, chunkPages int, gapBytes uint64) Region {
+func (g *Group) ChunkedRegion(name string, seg Seg, pages, chunkPages int, gapBytes uint64) (Region, error) {
 	if r, ok := g.regions[name]; ok {
 		if r.Pages != pages || r.Seg != seg || r.ChunkPages != chunkPages {
-			panic(fmt.Sprintf("kernel: chunked region %q redefined", name))
+			return Region{}, fmt.Errorf("kernel: chunked region %q redefined", name)
 		}
-		return r
+		return r, nil
 	}
 	if chunkPages <= 0 || pages <= 0 {
-		panic(fmt.Sprintf("kernel: bad chunked region %q (%d pages, %d chunk)", name, pages, chunkPages))
+		return Region{}, fmt.Errorf("kernel: bad chunked region %q (%d pages, %d chunk)", name, pages, chunkPages)
 	}
 	nChunks := (pages + chunkPages - 1) / chunkPages
 	r := Region{Name: name, Seg: seg, Pages: pages, ChunkPages: chunkPages}
 	for c := 0; c < nChunks; c++ {
-		sub := g.Region(fmt.Sprintf("%s#%d", name, c), seg, chunkPages)
+		sub, err := g.Region(fmt.Sprintf("%s#%d", name, c), seg, chunkPages)
+		if err != nil {
+			return Region{}, err
+		}
 		r.ChunkStarts = append(r.ChunkStarts, sub.Start)
 		// Advance the cursor by the requested gap so chunks land in
 		// distinct PMD (and, with 1GB gaps, PUD) regions.
@@ -157,6 +173,15 @@ func (g *Group) ChunkedRegion(name string, seg Seg, pages, chunkPages int, gapBy
 	}
 	r.Start = r.ChunkStarts[0]
 	g.regions[name] = r
+	return r, nil
+}
+
+// MustChunkedRegion is ChunkedRegion for tests and static deploy scripts.
+func (g *Group) MustChunkedRegion(name string, seg Seg, pages, chunkPages int, gapBytes uint64) Region {
+	r, err := g.ChunkedRegion(name, seg, pages, chunkPages, gapBytes)
+	if err != nil {
+		bug("MustChunkedRegion: %v", err)
+	}
 	return r
 }
 
@@ -200,17 +225,21 @@ func regionKey2M(gva memdefs.VAddr) uint64 { return uint64(gva) >> memdefs.HugeP
 func regionKey1G(gva memdefs.VAddr) uint64 { return uint64(gva) >> memdefs.HugePageShift1G }
 
 // maskPageFor finds (or, when create is set, allocates) the MaskPage
-// covering a 4KB VPN.
-func (g *Group) maskPageFor(vpn memdefs.VPN, create bool) *MaskPage {
+// covering a 4KB VPN. Allocation failure propagates as ErrOutOfMemory;
+// a nil MaskPage with nil error means "not present and not created".
+func (g *Group) maskPageFor(vpn memdefs.VPN, create bool) (*MaskPage, error) {
 	key := uint64(vpn) >> (memdefs.HugePageShift1G - memdefs.PageShift)
 	mp, ok := g.maskPages[key]
 	if !ok && create {
-		frame := g.kern.Mem.MustAlloc(physmem.FrameKernel)
+		frame, err := g.kern.allocFrame(physmem.FrameKernel)
+		if err != nil {
+			return nil, err
+		}
 		mp = &MaskPage{RegionKey: key, Frame: frame}
 		g.maskPages[key] = mp
 		g.kern.stats.MaskPages++
 	}
-	return mp
+	return mp, nil
 }
 
 // MaskPages returns the group's MaskPages (diagnostics/space accounting).

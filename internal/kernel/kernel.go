@@ -14,10 +14,28 @@ package kernel
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"babelfish/internal/memdefs"
 	"babelfish/internal/physmem"
 )
+
+// kernelBugs counts invariant panics raised through bug(). The auditor
+// reports it so chaos harnesses can assert no invariant tripped even when
+// a test recovers the panic.
+var kernelBugs uint64
+
+// BugCount reports how many kernel invariant violations have panicked
+// process-wide.
+func BugCount() uint64 { return atomic.LoadUint64(&kernelBugs) }
+
+// bug raises a kernel invariant violation: a state that cannot be reached
+// by any caller input, only by kernel logic errors. Reachable error
+// conditions (bad arguments, resource exhaustion) return errors instead.
+func bug(format string, args ...interface{}) {
+	atomic.AddUint64(&kernelBugs, 1)
+	panic("kernel bug: " + fmt.Sprintf(format, args...))
+}
 
 // Mode selects the architecture under simulation.
 type Mode int
@@ -155,6 +173,7 @@ type Stats struct {
 	MaskOverflows    uint64
 	Shootdowns       uint64
 	Reclaimed        uint64 // page-cache frames evicted under pressure
+	OOMEvents        uint64 // allocation failures that survived reclaim and surfaced as ErrOutOfMemory
 	FaultCycles      memdefs.Cycles
 }
 
@@ -174,6 +193,10 @@ type Kernel struct {
 	// zeroPPN is the global read-only zero page shared by anonymous
 	// read-before-write mappings.
 	zeroPPN memdefs.PPN
+
+	// tick is the LRU clock for page-cache reclaim: it advances on every
+	// cache touch, and each cached page remembers the tick of its last use.
+	tick uint64
 
 	stats Stats
 }
@@ -196,7 +219,13 @@ func New(mem *physmem.Memory, cfg Config) *Kernel {
 		nextPCID: 1,
 		nextCCID: 1,
 	}
-	k.zeroPPN = mem.MustAlloc(physmem.FrameData)
+	zp, err := mem.Alloc(physmem.FrameData)
+	if err != nil {
+		// A memory too small for even the shared zero page is unusable;
+		// this is a construction-time invariant, not a runtime OOM.
+		bug("cannot allocate the shared zero page: %v", err)
+	}
+	k.zeroPPN = zp
 	return k
 }
 

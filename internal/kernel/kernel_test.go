@@ -52,11 +52,11 @@ func TestFileDemandFaultInstallsSharedFrame(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		f := k.CreateFile("lib.so", 64)
-		r := g.Region("lib", SegLibs, 64)
-		p1.MapFile(r, f, 0, rx, true, "lib")
+		f := k.MustCreateFile("lib.so", 64)
+		r := g.MustRegion("lib", SegLibs, 64)
+		p1.MustMapFile(r, f, 0, rx, true, "lib")
 		// Fork copied no VMAs for the lib (mapped after fork): map in p2 too.
-		p2.MapFile(r, f, 0, rx, true, "lib")
+		p2.MustMapFile(r, f, 0, rx, true, "lib")
 
 		gva := r.Start + 3*memdefs.PageSize
 		mustFault(t, k, p1, gva, false)
@@ -88,9 +88,9 @@ func TestBabelFishSecondProcessAvoidsMinorFault(t *testing.T) {
 	k := newKernel(t, ModeBabelFish)
 	g := k.NewGroup("app", 1)
 	p1 := mustProc(t, k, g, "c1")
-	f := k.CreateFile("data", 128)
-	r := g.Region("data", SegMmap, 128)
-	p1.MapFile(r, f, 0, ro, true, "data")
+	f := k.MustCreateFile("data", 128)
+	r := g.MustRegion("data", SegMmap, 128)
+	p1.MustMapFile(r, f, 0, ro, true, "data")
 
 	// p1 faults 10 pages in.
 	for i := 0; i < 10; i++ {
@@ -119,9 +119,9 @@ func TestBaselineEachProcessFaults(t *testing.T) {
 	k := newKernel(t, ModeBaseline)
 	g := k.NewGroup("app", 1)
 	p1 := mustProc(t, k, g, "c1")
-	f := k.CreateFile("data", 128)
-	r := g.Region("data", SegMmap, 128)
-	p1.MapFile(r, f, 0, ro, true, "data")
+	f := k.MustCreateFile("data", 128)
+	r := g.MustRegion("data", SegMmap, 128)
+	p1.MustMapFile(r, f, 0, ro, true, "data")
 	p2, _, err := k.Fork(p1, "c2")
 	if err != nil {
 		t.Fatal(err)
@@ -142,9 +142,9 @@ func TestMajorThenMinorFaults(t *testing.T) {
 	k := newKernel(t, ModeBaseline)
 	g := k.NewGroup("app", 1)
 	p := mustProc(t, k, g, "c1")
-	f := k.CreateFile("cold", 16)
-	r := g.Region("cold", SegMmap, 16)
-	p.MapFile(r, f, 0, ro, true, "cold")
+	f := k.MustCreateFile("cold", 16)
+	r := g.MustRegion("cold", SegMmap, 16)
+	p.MustMapFile(r, f, 0, ro, true, "cold")
 	c1 := mustFault(t, k, p, r.Start, false)
 	if k.Stats().MajorFaults != 1 {
 		t.Fatalf("major faults = %d, want 1", k.Stats().MajorFaults)
@@ -156,8 +156,8 @@ func TestMajorThenMinorFaults(t *testing.T) {
 	p2, _, _ := k.Fork(p, "c2")
 	_ = p2
 	q := mustProc(t, k, k.NewGroup("other", 2), "other")
-	r2 := q.Group.Region("cold2", SegMmap, 16)
-	q.MapFile(r2, f, 0, ro, true, "cold")
+	r2 := q.Group.MustRegion("cold2", SegMmap, 16)
+	q.MustMapFile(r2, f, 0, ro, true, "cold")
 	c2 := mustFault(t, k, q, r2.Start, false)
 	if k.Stats().MajorFaults != 1 {
 		t.Fatalf("major faults = %d, want still 1", k.Stats().MajorFaults)
@@ -172,8 +172,8 @@ func TestAnonZeroPageThenCoW(t *testing.T) {
 		k := newKernel(t, mode)
 		g := k.NewGroup("app", 1)
 		p := mustProc(t, k, g, "c1")
-		r := g.Region("heap", SegHeap, 32)
-		p.MapAnon(r, rw, "heap")
+		r := g.MustRegion("heap", SegHeap, 32)
+		p.MustMapAnon(r, rw, "heap")
 
 		gva := r.Start + 4*memdefs.PageSize
 		mustFault(t, k, p, gva, false)
@@ -198,8 +198,8 @@ func TestForkCoWSemantics(t *testing.T) {
 		k := newKernel(t, mode)
 		g := k.NewGroup("app", 1)
 		p1 := mustProc(t, k, g, "parent")
-		r := g.Region("heap", SegHeap, 8)
-		p1.MapAnon(r, rw, "heap")
+		r := g.MustRegion("heap", SegHeap, 8)
+		p1.MustMapAnon(r, rw, "heap")
 		gva := r.Start
 
 		// Parent writes before fork: private writable page.
@@ -249,9 +249,9 @@ func TestBabelFishCoWEventMaskPage(t *testing.T) {
 	k := newKernel(t, ModeBabelFish)
 	g := k.NewGroup("app", 1)
 	p1 := mustProc(t, k, g, "c1")
-	f := k.CreateFile("bin", 32)
-	r := g.Region("data", SegData, 32)
-	p1.MapFile(r, f, 0, rw, true, "datasegment")
+	f := k.MustCreateFile("bin", 32)
+	r := g.MustRegion("data", SegData, 32)
+	p1.MustMapFile(r, f, 0, rw, true, "datasegment")
 	p2, _, err := k.Fork(p1, "c2")
 	if err != nil {
 		t.Fatal(err)
@@ -291,7 +291,7 @@ func TestBabelFishCoWEventMaskPage(t *testing.T) {
 	}
 
 	// MaskPage bookkeeping: p2 holds bit 0, region mask bit set.
-	mp := g.maskPageFor(memdefs.PageVPN(gva), false)
+	mp, _ := g.maskPageFor(memdefs.PageVPN(gva), false)
 	if mp == nil {
 		t.Fatal("no MaskPage")
 	}
@@ -331,9 +331,9 @@ func TestMaskPageOverflowReverts(t *testing.T) {
 	k := newKernel(t, ModeBabelFish)
 	g := k.NewGroup("app", 1)
 	tmpl := mustProc(t, k, g, "tmpl")
-	f := k.CreateFile("bin", 8)
-	r := g.Region("data", SegData, 8)
-	tmpl.MapFile(r, f, 0, rw, true, "data")
+	f := k.MustCreateFile("bin", 8)
+	r := g.MustRegion("data", SegData, 8)
+	tmpl.MustMapFile(r, f, 0, rw, true, "data")
 	mustFault(t, k, tmpl, r.Start, false)
 
 	procs := []*Process{tmpl}
@@ -376,9 +376,9 @@ func TestMapSharedWriteNoCow(t *testing.T) {
 		k := newKernel(t, mode)
 		g := k.NewGroup("app", 1)
 		p1 := mustProc(t, k, g, "c1")
-		f := k.CreateFile("shm", 16)
-		r := g.Region("shm", SegMmap, 16)
-		p1.MapFile(r, f, 0, rw, false, "shm")
+		f := k.MustCreateFile("shm", 16)
+		r := g.MustRegion("shm", SegMmap, 16)
+		p1.MustMapFile(r, f, 0, rw, false, "shm")
 		p2, _, err := k.Fork(p1, "c2")
 		if err != nil {
 			t.Fatal(err)
@@ -441,11 +441,11 @@ func TestRefcountsAfterExit(t *testing.T) {
 		k := newKernel(t, mode)
 		g := k.NewGroup("app", 1)
 		p1 := mustProc(t, k, g, "c1")
-		f := k.CreateFile("lib", 32)
-		r := g.Region("lib", SegLibs, 32)
-		p1.MapFile(r, f, 0, rx, true, "lib")
-		rh := g.Region("heap", SegHeap, 32)
-		p1.MapAnon(rh, rw, "heap")
+		f := k.MustCreateFile("lib", 32)
+		r := g.MustRegion("lib", SegLibs, 32)
+		p1.MustMapFile(r, f, 0, rx, true, "lib")
+		rh := g.MustRegion("heap", SegHeap, 32)
+		p1.MustMapAnon(rh, rw, "heap")
 		p2, _, err := k.Fork(p1, "c2")
 		if err != nil {
 			t.Fatal(err)
@@ -480,8 +480,8 @@ func TestHugeAnonTHP(t *testing.T) {
 	k := New(physmem.New(512<<20), cfg)
 	g := k.NewGroup("app", 1)
 	p := mustProc(t, k, g, "c1")
-	r := g.Region("bigbuf", SegHeap, 1024) // 4MB: 2 huge pages
-	vma := p.MapAnon(r, rw, "bigbuf")
+	r := g.MustRegion("bigbuf", SegHeap, 1024) // 4MB: 2 huge pages
+	vma := p.MustMapAnon(r, rw, "bigbuf")
 	if !vma.Huge {
 		t.Fatal("large anon region not THP")
 	}
@@ -500,9 +500,9 @@ func TestHugeFileSharedPMDTable(t *testing.T) {
 	k := New(physmem.New(512<<20), cfg)
 	g := k.NewGroup("app", 1)
 	p1 := mustProc(t, k, g, "c1")
-	f := k.CreateHugeFile("graph2m", 1024)
-	r := g.Region("graph2m", SegMmap, 1024)
-	v := p1.MapFile(r, f, 0, ro, false, "graph2m")
+	f := k.MustCreateHugeFile("graph2m", 1024)
+	r := g.MustRegion("graph2m", SegMmap, 1024)
+	v := p1.MustMapFile(r, f, 0, ro, false, "graph2m")
 	v.Huge = true
 	p2, _, err := k.Fork(p1, "c2")
 	if err != nil {
@@ -526,11 +526,11 @@ func TestCharacterization(t *testing.T) {
 	k := newKernel(t, ModeBaseline)
 	g := k.NewGroup("app", 1)
 	p1 := mustProc(t, k, g, "c1")
-	f := k.CreateFile("lib", 64)
-	r := g.Region("lib", SegLibs, 64)
-	p1.MapFile(r, f, 0, rx, true, "lib")
-	rh := g.Region("buf", SegHeap, 64)
-	p1.MapAnon(rh, rw, "buf")
+	f := k.MustCreateFile("lib", 64)
+	r := g.MustRegion("lib", SegLibs, 64)
+	p1.MustMapFile(r, f, 0, rx, true, "lib")
+	rh := g.MustRegion("buf", SegHeap, 64)
+	p1.MustMapAnon(rh, rw, "buf")
 	p2, _, err := k.Fork(p1, "c2")
 	if err != nil {
 		t.Fatal(err)
@@ -576,9 +576,9 @@ func TestSpuriousFaultIsBenign(t *testing.T) {
 	k := newKernel(t, ModeBabelFish)
 	g := k.NewGroup("app", 1)
 	p := mustProc(t, k, g, "c1")
-	f := k.CreateFile("lib", 8)
-	r := g.Region("lib", SegLibs, 8)
-	p.MapFile(r, f, 0, ro, true, "lib")
+	f := k.MustCreateFile("lib", 8)
+	r := g.MustRegion("lib", SegLibs, 8)
+	p.MustMapFile(r, f, 0, ro, true, "lib")
 	mustFault(t, k, p, r.Start, false)
 	before := k.Stats().MinorFaults
 	mustFault(t, k, p, r.Start, false) // already present
@@ -594,9 +594,9 @@ func TestFaultErrors(t *testing.T) {
 	if _, err := k.HandleFault(p.PID, 0xdead000, false, memdefs.AccessData); err == nil {
 		t.Fatal("unmapped fault succeeded")
 	}
-	f := k.CreateFile("lib", 8)
-	r := g.Region("lib", SegLibs, 8)
-	p.MapFile(r, f, 0, ro, true, "lib")
+	f := k.MustCreateFile("lib", 8)
+	r := g.MustRegion("lib", SegLibs, 8)
+	p.MustMapFile(r, f, 0, ro, true, "lib")
 	if _, err := k.HandleFault(p.PID, p.ProcVA(r.Start), true, memdefs.AccessData); err == nil {
 		t.Fatal("write to read-only VMA succeeded")
 	}
@@ -615,9 +615,9 @@ func TestNoPCBitmaskVariant(t *testing.T) {
 	k := New(physmem.New(256<<20), cfg)
 	g := k.NewGroup("app", 1)
 	p1 := mustProc(t, k, g, "c1")
-	f := k.CreateFile("bin", 32)
-	r := g.Region("data", SegData, 32)
-	p1.MapFile(r, f, 0, rw, true, "data")
+	f := k.MustCreateFile("bin", 32)
+	r := g.MustRegion("data", SegData, 32)
+	p1.MustMapFile(r, f, 0, rw, true, "data")
 	p2, _, err := k.Fork(p1, "c2")
 	if err != nil {
 		t.Fatal(err)
@@ -661,9 +661,9 @@ func TestPMDLevelSharing(t *testing.T) {
 	k := New(physmem.New(256<<20), cfg)
 	g := k.NewGroup("app", 8)
 	p1 := mustProc(t, k, g, "c1")
-	f := k.CreateFile("bin", 64)
-	r := g.Region("data", SegData, 64)
-	p1.MapFile(r, f, 0, rw, true, "data")
+	f := k.MustCreateFile("bin", 64)
+	r := g.MustRegion("data", SegData, 64)
+	p1.MustMapFile(r, f, 0, rw, true, "data")
 	p2, _, err := k.Fork(p1, "c2")
 	if err != nil {
 		t.Fatal(err)
@@ -732,9 +732,9 @@ func TestPMDSharingUnmapIsolated(t *testing.T) {
 	k := New(physmem.New(256<<20), cfg)
 	g := k.NewGroup("app", 9)
 	p1 := mustProc(t, k, g, "c1")
-	f := k.CreateFile("sst", 32)
-	r := g.Region("sst", SegMmap, 32)
-	p1.MapFile(r, f, 0, ro, true, "sst")
+	f := k.MustCreateFile("sst", 32)
+	r := g.MustRegion("sst", SegMmap, 32)
+	p1.MustMapFile(r, f, 0, ro, true, "sst")
 	p2, _, err := k.Fork(p1, "c2")
 	if err != nil {
 		t.Fatal(err)
@@ -763,9 +763,9 @@ func TestMaskOverflowUnderPMDSharing(t *testing.T) {
 	k := New(physmem.New(512<<20), cfg)
 	g := k.NewGroup("app", 10)
 	tmpl := mustProc(t, k, g, "tmpl")
-	f := k.CreateFile("bin", 8)
-	r := g.Region("data", SegData, 8)
-	tmpl.MapFile(r, f, 0, rw, true, "data")
+	f := k.MustCreateFile("bin", 8)
+	r := g.MustRegion("data", SegData, 8)
+	tmpl.MustMapFile(r, f, 0, rw, true, "data")
 	mustFault(t, k, tmpl, r.Start, false)
 
 	procs := []*Process{tmpl}
@@ -807,9 +807,9 @@ func TestUnmapRevokesSharedTLBEligibility(t *testing.T) {
 	k := newKernel(t, ModeBabelFish)
 	g := k.NewGroup("app", 12)
 	p1 := mustProc(t, k, g, "c1")
-	f := k.CreateFile("lib", 16)
-	r := g.Region("lib", SegLibs, 16)
-	p1.MapFile(r, f, 0, rx, true, "lib")
+	f := k.MustCreateFile("lib", 16)
+	r := g.MustRegion("lib", SegLibs, 16)
+	p1.MustMapFile(r, f, 0, rx, true, "lib")
 	p2, _, err := k.Fork(p1, "c2")
 	if err != nil {
 		t.Fatal(err)
@@ -819,7 +819,7 @@ func TestUnmapRevokesSharedTLBEligibility(t *testing.T) {
 	if _, err := p2.UnmapRegionName("lib"); err != nil {
 		t.Fatal(err)
 	}
-	mp := g.maskPageFor(memdefs.PageVPN(r.Start), false)
+	mp, _ := g.maskPageFor(memdefs.PageVPN(r.Start), false)
 	if mp == nil {
 		t.Fatal("no MaskPage after unmap")
 	}
@@ -844,9 +844,9 @@ func TestNoPCBitmaskOracleParity(t *testing.T) {
 	k := New(physmem.New(256<<20), cfg)
 	g := k.NewGroup("app", 13)
 	p1 := mustProc(t, k, g, "c1")
-	f := k.CreateFile("bin", 16)
-	r := g.Region("data", SegData, 16)
-	p1.MapFile(r, f, 0, rw, true, "data")
+	f := k.MustCreateFile("bin", 16)
+	r := g.MustRegion("data", SegData, 16)
+	p1.MustMapFile(r, f, 0, rw, true, "data")
 	p2, _, err := k.Fork(p1, "c2")
 	if err != nil {
 		t.Fatal(err)

@@ -11,8 +11,8 @@ func TestProtectRevokesWrite(t *testing.T) {
 		k := newKernel(t, mode)
 		g := k.NewGroup("app", 20)
 		p := mustProc(t, k, g, "c1")
-		r := g.Region("buf", SegHeap, 8)
-		v := p.MapAnon(r, rw, "buf")
+		r := g.MustRegion("buf", SegHeap, 8)
+		v := p.MustMapAnon(r, rw, "buf")
 		mustFault(t, k, p, r.Start, true) // writable private page
 		if _, err := p.Protect(v, ro); err != nil {
 			t.Fatal(err)
@@ -32,9 +32,9 @@ func TestProtectGrantsWriteViaCoW(t *testing.T) {
 	k := newKernel(t, ModeBabelFish)
 	g := k.NewGroup("app", 21)
 	p1 := mustProc(t, k, g, "c1")
-	f := k.CreateFile("lib", 16)
-	r := g.Region("lib", SegLibs, 16)
-	p1.MapFile(r, f, 0, rx, true, "lib")
+	f := k.MustCreateFile("lib", 16)
+	r := g.MustRegion("lib", SegLibs, 16)
+	p1.MustMapFile(r, f, 0, rx, true, "lib")
 	p2, _, err := k.Fork(p1, "c2")
 	if err != nil {
 		t.Fatal(err)
@@ -56,7 +56,7 @@ func TestProtectGrantsWriteViaCoW(t *testing.T) {
 	if p2.Tables.TableAt(gva, memdefs.LvlPTE) == shared {
 		t.Fatal("p2 still on the shared table after mprotect")
 	}
-	mp := g.maskPageFor(memdefs.PageVPN(gva), false)
+	mp, _ := g.maskPageFor(memdefs.PageVPN(gva), false)
 	if mp == nil {
 		t.Fatal("no MaskPage")
 	}
@@ -82,8 +82,8 @@ func TestProtectErrors(t *testing.T) {
 	k := newKernel(t, ModeBaseline)
 	g := k.NewGroup("app", 22)
 	p := mustProc(t, k, g, "c1")
-	r := g.Region("x", SegHeap, 8)
-	v := p.MapAnon(r, rw, "x")
+	r := g.MustRegion("x", SegHeap, 8)
+	v := p.MustMapAnon(r, rw, "x")
 	other := &VMA{Name: "ghost", Start: 0x1000, End: 0x2000}
 	if _, err := p.Protect(other, ro); err == nil {
 		t.Fatal("mprotect of unmapped VMA succeeded")
@@ -94,8 +94,8 @@ func TestProtectErrors(t *testing.T) {
 	k2 := New(k.Mem, cfg)
 	g2 := k2.NewGroup("app2", 23)
 	p2 := mustProc(t, k2, g2, "c2")
-	rh := g2.Region("huge", SegHeap, 1024)
-	vh := p2.MapAnon(rh, rw, "huge")
+	rh := g2.MustRegion("huge", SegHeap, 1024)
+	vh := p2.MustMapAnon(rh, rw, "huge")
 	if vh.Huge {
 		if _, err := p2.Protect(vh, ro); err == nil {
 			t.Fatal("mprotect on huge VMA succeeded")

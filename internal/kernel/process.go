@@ -201,17 +201,18 @@ func (p *Process) FindVMA(gva memdefs.VAddr) (*VMA, bool) {
 	return nil, false
 }
 
-func (p *Process) insertVMA(v *VMA) {
+func (p *Process) insertVMA(v *VMA) error {
 	i := sort.Search(len(p.vmas), func(i int) bool { return p.vmas[i].Start >= v.Start })
 	for _, ex := range p.vmas {
 		if v.Start < ex.End && ex.Start < v.End {
-			panic(fmt.Sprintf("kernel: overlapping VMA %q [%#x,%#x) vs %q [%#x,%#x) in pid %d",
-				v.Name, v.Start, v.End, ex.Name, ex.Start, ex.End, p.PID))
+			return fmt.Errorf("kernel: overlapping VMA %q [%#x,%#x) vs %q [%#x,%#x) in pid %d",
+				v.Name, v.Start, v.End, ex.Name, ex.Start, ex.End, p.PID)
 		}
 	}
 	p.vmas = append(p.vmas, nil)
 	copy(p.vmas[i+1:], p.vmas[i:])
 	p.vmas[i] = v
+	return nil
 }
 
 // ProcVA converts a group VA to this process's virtual address.
@@ -247,7 +248,7 @@ func (p *Process) PCBitFunc() func(memdefs.VPN) (int, bool) {
 	g := p.Group
 	pid := p.PID
 	return func(vpn memdefs.VPN) (int, bool) {
-		mp := g.maskPageFor(vpn, false)
+		mp, _ := g.maskPageFor(vpn, false) // lookup-only: cannot fail
 		if mp == nil {
 			return 0, false
 		}
@@ -259,7 +260,7 @@ func (p *Process) PCBitFunc() func(memdefs.VPN) (int, bool) {
 func (p *Process) PCMaskFunc() func(memdefs.VPN) uint32 {
 	g := p.Group
 	return func(vpn memdefs.VPN) uint32 {
-		mp := g.maskPageFor(vpn, false)
+		mp, _ := g.maskPageFor(vpn, false) // lookup-only: cannot fail
 		if mp == nil {
 			return 0
 		}
@@ -269,29 +270,52 @@ func (p *Process) PCMaskFunc() func(memdefs.VPN) uint32 {
 
 // MapFile maps a file region. private selects MAP_PRIVATE (writes break
 // into CoW copies) versus MAP_SHARED (writes hit the page cache frame).
-func (p *Process) MapFile(r Region, f *File, fileOffPages int, perm memdefs.Perm, private bool, name string) *VMA {
+// Mapping beyond the file or over an existing VMA is a caller error.
+func (p *Process) MapFile(r Region, f *File, fileOffPages int, perm memdefs.Perm, private bool, name string) (*VMA, error) {
 	if fileOffPages < 0 || fileOffPages+r.Pages > f.Pages {
-		panic(fmt.Sprintf("kernel: mapping %q beyond file %q (%d+%d > %d pages)",
-			name, f.Name, fileOffPages, r.Pages, f.Pages))
+		return nil, fmt.Errorf("kernel: mapping %q beyond file %q (%d+%d > %d pages)",
+			name, f.Name, fileOffPages, r.Pages, f.Pages)
 	}
 	v := &VMA{
 		Name: name, Start: r.Start, End: r.End(), Perm: perm,
 		Kind: VMAFile, File: f, FileOff: fileOffPages, Private: private, Seg: r.Seg,
 	}
-	p.insertVMA(v)
+	if err := p.insertVMA(v); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// MustMapFile is MapFile for tests and static deploy scripts.
+func (p *Process) MustMapFile(r Region, f *File, fileOffPages int, perm memdefs.Perm, private bool, name string) *VMA {
+	v, err := p.MapFile(r, f, fileOffPages, perm, private, name)
+	if err != nil {
+		bug("MustMapFile: %v", err)
+	}
 	return v
 }
 
 // MapAnon maps an anonymous private region (heap, buffers, stacks). Huge
 // mappings are used when THP is enabled and the region is large enough.
-func (p *Process) MapAnon(r Region, perm memdefs.Perm, name string) *VMA {
+func (p *Process) MapAnon(r Region, perm memdefs.Perm, name string) (*VMA, error) {
 	v := &VMA{
 		Name: name, Start: r.Start, End: r.End(), Perm: perm,
 		Kind: VMAAnon, Private: true, Seg: r.Seg,
 		Huge: p.kern.Cfg.THP && r.Pages >= p.kern.Cfg.THPMinPages &&
 			uint64(r.Start)%memdefs.HugePageSize2M == 0 && r.Pages%memdefs.TableSize == 0,
 	}
-	p.insertVMA(v)
+	if err := p.insertVMA(v); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// MustMapAnon is MapAnon for tests and static deploy scripts.
+func (p *Process) MustMapAnon(r Region, perm memdefs.Perm, name string) *VMA {
+	v, err := p.MapAnon(r, perm, name)
+	if err != nil {
+		bug("MustMapAnon: %v", err)
+	}
 	return v
 }
 

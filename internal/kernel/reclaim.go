@@ -1,0 +1,198 @@
+package kernel
+
+import (
+	"sort"
+
+	"babelfish/internal/memdefs"
+	"babelfish/internal/pgtable"
+	"babelfish/internal/physmem"
+)
+
+// reclaimBatch is how many 4KB frames one reclaim round tries to free
+// before the failed allocation is retried.
+const reclaimBatch = 256
+
+// touch advances the LRU clock and returns the new tick. Ticks are unique,
+// so LRU ordering is a total order and reclaim is deterministic.
+func (k *Kernel) touch() uint64 {
+	k.tick++
+	return k.tick
+}
+
+// allocFrame allocates a 4KB frame, running page-cache reclaim and
+// retrying once under memory pressure. Every kernel allocation that can
+// legally fail goes through here (or allocBlock); a failure that survives
+// reclaim is counted as an OOM event and surfaces as ErrOutOfMemory to the
+// faulting process.
+func (k *Kernel) allocFrame(kind physmem.FrameKind) (memdefs.PPN, error) {
+	ppn, err := k.Mem.Alloc(kind)
+	if err == nil {
+		return ppn, nil
+	}
+	if k.reclaimLRU(reclaimBatch, false) > 0 {
+		if ppn, err2 := k.Mem.Alloc(kind); err2 == nil {
+			return ppn, nil
+		} else {
+			err = err2
+		}
+	}
+	k.stats.OOMEvents++
+	return 0, err
+}
+
+// allocBlock is allocFrame for 2MB blocks. Freed 4KB frames do not
+// coalesce back into blocks, so the reclaim round targets huge page-cache
+// blocks only.
+func (k *Kernel) allocBlock(kind physmem.FrameKind) (memdefs.PPN, error) {
+	base, err := k.Mem.AllocBlock(kind)
+	if err == nil {
+		return base, nil
+	}
+	if k.reclaimLRU(memdefs.TableSize, true) > 0 {
+		if base, err2 := k.Mem.AllocBlock(kind); err2 == nil {
+			return base, nil
+		} else {
+			err = err2
+		}
+	}
+	k.stats.OOMEvents++
+	return 0, err
+}
+
+// Reclaim evicts up to n clean page-cache pages, least recently used
+// first, and returns the number of 4KB frames freed. Pages mapped by
+// processes are unmapped first: their leaf PTEs are cleared and the stale
+// TLB entries shot down (shared CCID entries via the group shootdown,
+// private entries per process), so the next touch takes a fresh major
+// fault. Pages written through a mapping (dirty PTE) are skipped — the
+// model has no writeback path, so discarding them would lose data.
+func (k *Kernel) Reclaim(n int) int { return k.reclaimLRU(n, false) }
+
+// reclaimCand is one evictable page-cache unit: a 4KB page or a 2MB block.
+type reclaimCand struct {
+	tick uint64
+	file *File
+	idx  int // frame index (4KB) or block index (2MB)
+	ppn  memdefs.PPN
+	huge bool
+}
+
+// leafRef is one leaf page-table entry referencing a candidate frame.
+// Shared tables are reachable from several processes, so the entry is
+// deduplicated by (table, idx) and mappers lists every process that can
+// see it.
+type leafRef struct {
+	table   memdefs.PPN
+	idx     int
+	gva     memdefs.VAddr
+	entry   pgtable.Entry
+	mappers []*Process
+}
+
+func (k *Kernel) reclaimLRU(n int, hugeOnly bool) int {
+	var cands []reclaimCand
+	for _, f := range k.files {
+		if !hugeOnly {
+			for i, ppn := range f.frames {
+				if ppn != 0 {
+					cands = append(cands, reclaimCand{tick: f.ticks[i], file: f, idx: i, ppn: ppn})
+				}
+			}
+		}
+		for i, base := range f.blocks {
+			if base != 0 {
+				cands = append(cands, reclaimCand{tick: f.blockTicks[i], file: f, idx: i, ppn: base, huge: true})
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return 0
+	}
+	// Oldest first; ticks are unique, the name/index tie-break only guards
+	// against never-touched (tick 0) duplicates.
+	sort.Slice(cands, func(a, b int) bool {
+		ca, cb := cands[a], cands[b]
+		if ca.tick != cb.tick {
+			return ca.tick < cb.tick
+		}
+		if ca.file.Name != cb.file.Name {
+			return ca.file.Name < cb.file.Name
+		}
+		return ca.idx < cb.idx
+	})
+
+	// Reverse map: candidate frame → the leaf entries referencing it,
+	// across every process, deduplicated by (table, idx) so entries in
+	// group-shared tables are cleared (and unreferenced) exactly once.
+	want := make(map[memdefs.PPN]bool, len(cands))
+	for _, c := range cands {
+		want[c.ppn] = true
+	}
+	type tableSlot struct {
+		table memdefs.PPN
+		idx   int
+	}
+	refsOf := make(map[memdefs.PPN][]*leafRef)
+	seen := make(map[tableSlot]*leafRef)
+	procs := k.Processes()
+	sort.Slice(procs, func(a, b int) bool { return procs[a].PID < procs[b].PID })
+	for _, p := range procs {
+		p := p
+		p.Tables.VisitLeaves(func(gva memdefs.VAddr, lvl memdefs.Level, table memdefs.PPN, idx int, e pgtable.Entry) {
+			if !e.Present() || !want[e.PPN()] {
+				return
+			}
+			slot := tableSlot{table, idx}
+			if r, ok := seen[slot]; ok {
+				r.mappers = append(r.mappers, p)
+				return
+			}
+			r := &leafRef{table: table, idx: idx, gva: gva, entry: e, mappers: []*Process{p}}
+			seen[slot] = r
+			refsOf[e.PPN()] = append(refsOf[e.PPN()], r)
+		})
+	}
+
+	freed := 0
+	for _, c := range cands {
+		if freed >= n {
+			break
+		}
+		refs := refsOf[c.ppn]
+		dirty := false
+		for _, r := range refs {
+			if r.entry.Dirty() {
+				dirty = true
+				break
+			}
+		}
+		if dirty {
+			continue
+		}
+		// Unmap every referencing leaf entry, then drop the cache's own
+		// reference; the frame (or block) returns to the allocator.
+		for _, r := range refs {
+			k.Mem.WriteEntry(r.table, r.idx, 0)
+			k.Mem.Unref(c.ppn)
+			shotShared := make(map[memdefs.CCID]bool)
+			for _, p := range r.mappers {
+				if g := p.Group; g != nil && !shotShared[g.CCID] {
+					shotShared[g.CCID] = true
+					k.shootdownSharedVA(r.gva, g.CCID)
+				}
+				k.shootdownVA(p.ProcVA(r.gva))
+			}
+		}
+		if c.huge {
+			c.file.blocks[c.idx] = 0
+			freed += memdefs.TableSize
+		} else {
+			c.file.frames[c.idx] = 0
+			freed++
+		}
+		k.Mem.Unref(c.ppn)
+		delete(refsOf, c.ppn)
+	}
+	k.stats.Reclaimed += uint64(freed)
+	return freed
+}

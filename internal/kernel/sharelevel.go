@@ -53,7 +53,7 @@ func (k *Kernel) pmdTableFor(p *Process, gva memdefs.VAddr) (table memdefs.PPN, 
 		idx := memdefs.LvlPMD.Index(gva)
 		e := pgtable.Entry(k.Mem.ReadEntry(cur, idx))
 		if e.PPN() == 0 {
-			child, err := k.Mem.Alloc(physmem.FrameTable)
+			child, err := k.allocFrame(physmem.FrameTable)
 			if err != nil {
 				return 0, false, false, cycles, err
 			}
@@ -87,7 +87,7 @@ func (k *Kernel) privatizePMD(p *Process, gva memdefs.VAddr) (memdefs.PPN, memde
 	if !has || cur != sharedPMD {
 		return cur, 0, nil // already private (or never shared)
 	}
-	newPMD, err := k.Mem.Alloc(physmem.FrameTable)
+	newPMD, err := k.allocFrame(physmem.FrameTable)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -105,7 +105,9 @@ func (k *Kernel) privatizePMD(p *Process, gva memdefs.VAddr) (memdefs.PPN, memde
 	}
 	pudTable, err := p.Tables.EnsureTable(gva, memdefs.LvlPUD)
 	if err != nil {
-		k.Mem.Unref(newPMD)
+		// The failed copy holds references on every child table; a bare
+		// Unref would leak them all.
+		k.releaseSharedTableAtLevel(newPMD, memdefs.LvlPMD)
 		return 0, 0, err
 	}
 	pudIdx := memdefs.LvlPUD.Index(gva)
@@ -140,7 +142,7 @@ func (k *Kernel) ensureOwnedTablePMD(p *Process, gva memdefs.VAddr) (memdefs.Cyc
 	}
 	idx := memdefs.LvlPMD.Index(gva)
 	e := pgtable.Entry(k.Mem.ReadEntry(pmd, idx))
-	newTbl, err := k.Mem.Alloc(physmem.FrameTable)
+	newTbl, err := k.allocFrame(physmem.FrameTable)
 	if err != nil {
 		return cycles, 0, err
 	}

@@ -12,8 +12,8 @@ func TestUnmapPrivateReleasesFrames(t *testing.T) {
 		k := newKernel(t, mode)
 		g := k.NewGroup("app", 1)
 		p := mustProc(t, k, g, "c1")
-		r := g.Region("buf", SegHeap, 16)
-		v := p.MapAnon(r, rw, "buf")
+		r := g.MustRegion("buf", SegHeap, 16)
+		v := p.MustMapAnon(r, rw, "buf")
 		for i := 0; i < 16; i++ {
 			mustFault(t, k, p, r.Start+memdefs.VAddr(i)*memdefs.PageSize, true)
 		}
@@ -42,9 +42,9 @@ func TestUnmapSharedKeepsSiblings(t *testing.T) {
 	k := newKernel(t, ModeBabelFish)
 	g := k.NewGroup("app", 1)
 	p1 := mustProc(t, k, g, "c1")
-	f := k.CreateFile("sst", 32)
-	r := g.Region("sst", SegMmap, 32)
-	p1.MapFile(r, f, 0, ro, true, "sst")
+	f := k.MustCreateFile("sst", 32)
+	r := g.MustRegion("sst", SegMmap, 32)
+	p1.MustMapFile(r, f, 0, ro, true, "sst")
 	p2, _, err := k.Fork(p1, "c2")
 	if err != nil {
 		t.Fatal(err)
@@ -68,7 +68,7 @@ func TestUnmapSharedKeepsSiblings(t *testing.T) {
 		t.Fatal("unmapped process still linked")
 	}
 	// And p1 can remap the same region later.
-	p1.MapFile(r, f, 0, ro, true, "sst")
+	p1.MustMapFile(r, f, 0, ro, true, "sst")
 	mustFault(t, k, p1, gva, false)
 	if leaf(t, p1, gva).PPN() != leaf(t, p2, gva).PPN() {
 		t.Fatal("remap diverged from page cache")
@@ -81,8 +81,8 @@ func TestUnmapHugeTHP(t *testing.T) {
 	k := New(physmem.New(512<<20), cfg)
 	g := k.NewGroup("app", 1)
 	p := mustProc(t, k, g, "c1")
-	r := g.Region("big", SegHeap, 1024)
-	v := p.MapAnon(r, rw, "big")
+	r := g.MustRegion("big", SegHeap, 1024)
+	v := p.MustMapAnon(r, rw, "big")
 	if !v.Huge {
 		t.Fatal("not THP")
 	}
@@ -104,8 +104,8 @@ func TestUnmapErrors(t *testing.T) {
 	if _, err := p.UnmapRegionName("nope"); err == nil {
 		t.Fatal("unmap of unknown region succeeded")
 	}
-	r := g.Region("x", SegHeap, 8)
-	v := p.MapAnon(r, rw, "x")
+	r := g.MustRegion("x", SegHeap, 8)
+	v := p.MustMapAnon(r, rw, "x")
 	if _, err := p.Unmap(v); err != nil {
 		t.Fatal(err)
 	}
@@ -120,9 +120,9 @@ func TestReclaimUnderPressure(t *testing.T) {
 	k := New(physmem.New(3<<20), cfg) // 768 frames only
 	g := k.NewGroup("app", 30)
 	p := mustProc(t, k, g, "c1")
-	f := k.CreateFile("big", 600)
-	r := g.Region("big", SegMmap, 600)
-	p.MapFile(r, f, 0, ro, true, "big")
+	f := k.MustCreateFile("big", 600)
+	r := g.MustRegion("big", SegMmap, 600)
+	p.MustMapFile(r, f, 0, ro, true, "big")
 	// Touch the whole file, filling most of physical memory with page
 	// cache; the anonymous region below then forces eviction.
 	for i := 0; i < 600; i++ {
@@ -132,8 +132,8 @@ func TestReclaimUnderPressure(t *testing.T) {
 	if _, err := p.UnmapRegionName("big"); err != nil {
 		t.Fatal(err)
 	}
-	rh := g.Region("heap", SegHeap, 500)
-	p.MapAnon(rh, rw, "heap")
+	rh := g.MustRegion("heap", SegHeap, 500)
+	p.MustMapAnon(rh, rw, "heap")
 	for i := 0; i < 500; i++ {
 		mustFault(t, k, p, rh.PageVA(i), true)
 	}
@@ -141,7 +141,7 @@ func TestReclaimUnderPressure(t *testing.T) {
 		t.Fatal("no page cache reclaimed under pressure")
 	}
 	// Evicted pages are re-readable: a fresh mapping major-faults them in.
-	p.MapFile(r, f, 0, ro, true, "big")
+	p.MustMapFile(r, f, 0, ro, true, "big")
 	before := k.Stats().MajorFaults
 	mustFault(t, k, p, r.PageVA(0), false)
 	if k.Stats().MajorFaults == before {
@@ -153,9 +153,9 @@ func TestResidentPages(t *testing.T) {
 	k := newKernel(t, ModeBaseline)
 	g := k.NewGroup("app", 31)
 	p := mustProc(t, k, g, "c1")
-	f := k.CreateFile("x", 16)
-	r := g.Region("x", SegMmap, 16)
-	p.MapFile(r, f, 0, ro, true, "x")
+	f := k.MustCreateFile("x", 16)
+	r := g.MustRegion("x", SegMmap, 16)
+	p.MustMapFile(r, f, 0, ro, true, "x")
 	if p.ResidentPages() != 0 {
 		t.Fatal("rss nonzero before faults")
 	}

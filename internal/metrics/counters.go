@@ -1,0 +1,34 @@
+package metrics
+
+import "fmt"
+
+// Counters is the robustness-counter snapshot of one machine: how much
+// memory pressure the run saw and how it was absorbed. Zero values mean
+// the run never hit pressure (the common case when no fault injector is
+// installed and memory is over-provisioned).
+type Counters struct {
+	// OOMEvents counts kernel allocations that failed even after reclaim.
+	OOMEvents uint64
+	// ReclaimedPages counts 4KB page-cache frames evicted under pressure.
+	ReclaimedPages uint64
+	// InjectedFaults counts allocations failed by the fault injector.
+	InjectedFaults uint64
+	// OOMKills counts tasks the machine's OOM killer terminated.
+	OOMKills uint64
+	// KernelBugs counts kernel/physmem invariant panics observed
+	// process-wide (should stay 0; chaos tests assert on it).
+	KernelBugs uint64
+}
+
+// Any reports whether any counter is non-zero (whether the snapshot is
+// worth printing).
+func (c Counters) Any() bool {
+	return c.OOMEvents != 0 || c.ReclaimedPages != 0 || c.InjectedFaults != 0 ||
+		c.OOMKills != 0 || c.KernelBugs != 0
+}
+
+// String renders the snapshot on one line.
+func (c Counters) String() string {
+	return fmt.Sprintf("oom_events=%d reclaimed_pages=%d injected_faults=%d oom_kills=%d kernel_bugs=%d",
+		c.OOMEvents, c.ReclaimedPages, c.InjectedFaults, c.OOMKills, c.KernelBugs)
+}

@@ -76,6 +76,9 @@ func (e Entry) ORPC() bool { return e&FlagORPC != 0 }
 // CoW reports the software copy-on-write bit.
 func (e Entry) CoW() bool { return e&FlagCoW != 0 }
 
+// Dirty reports whether the page has been written through this entry.
+func (e Entry) Dirty() bool { return e&FlagDirty != 0 }
+
 // Zero reports whether the entry is entirely empty.
 func (e Entry) Zero() bool { return e == 0 }
 

@@ -14,6 +14,18 @@ import (
 type Tables struct {
 	Mem  *physmem.Memory
 	Root memdefs.PPN
+	// AllocTable, when set, replaces the direct physmem allocation of
+	// intermediate table frames — the kernel points it at its reclaiming
+	// allocator so table allocations also survive memory pressure.
+	AllocTable func() (memdefs.PPN, error)
+}
+
+// allocTableFrame allocates one table frame through the configured seam.
+func (t *Tables) allocTableFrame() (memdefs.PPN, error) {
+	if t.AllocTable != nil {
+		return t.AllocTable()
+	}
+	return t.Mem.Alloc(physmem.FrameTable)
 }
 
 // New allocates an empty page-table tree (just a PGD frame).
@@ -143,7 +155,7 @@ func (t *Tables) EnsureTable(va memdefs.VAddr, to memdefs.Level) (memdefs.PPN, e
 			return 0, fmt.Errorf("pgtable: huge mapping at %v blocks table for %#x", lvl, va)
 		}
 		if e.PPN() == 0 {
-			child, err := t.Mem.Alloc(physmem.FrameTable)
+			child, err := t.allocTableFrame()
 			if err != nil {
 				return 0, err
 			}

@@ -10,9 +10,27 @@ package physmem
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"babelfish/internal/memdefs"
 )
+
+// bugPanics counts invariant violations detected inside physmem before
+// they panic. The kernel auditor reads it through BugPanics so recovered
+// panics (tests, chaos harnesses) still leave a trace.
+var bugPanics uint64
+
+// BugPanics reports how many physmem invariant violations have fired
+// process-wide since start.
+func BugPanics() uint64 { return atomic.LoadUint64(&bugPanics) }
+
+// bugf records an invariant violation and panics. These are programmer
+// errors (double free, ref of a free frame), never load-dependent
+// conditions; load-dependent failures return errors instead.
+func bugf(format string, args ...interface{}) {
+	atomic.AddUint64(&bugPanics, 1)
+	panic(fmt.Sprintf(format, args...))
+}
 
 // FrameKind labels what a physical frame is used for.
 type FrameKind int
@@ -51,6 +69,15 @@ type Frame struct {
 	Table *[memdefs.TableSize]uint64
 }
 
+// Injector decides whether an allocation attempt should artificially
+// fail. It is the seam chaos tests use to model memory pressure (see
+// internal/faultinject). seq is the 1-based allocation sequence number of
+// the Memory; kind is what the caller is allocating. Implementations are
+// called with the Memory's lock held and must not call back into it.
+type Injector interface {
+	FailAlloc(seq uint64, kind FrameKind) bool
+}
+
 // Memory is a physical memory of a fixed number of frames. A quarter of
 // the frames are reserved as 2MB-aligned blocks for huge-page allocation.
 type Memory struct {
@@ -58,9 +85,12 @@ type Memory struct {
 	frames []Frame
 	free   []memdefs.PPN
 	blocks []memdefs.PPN // free 512-frame aligned blocks (base PPNs)
+	inj    Injector
 	// Stats
 	allocated int
 	peak      int
+	allocSeq  uint64
+	injected  uint64
 }
 
 // New creates a physical memory with the given capacity in bytes.
@@ -89,11 +119,48 @@ func New(bytes uint64) *Memory {
 	return m
 }
 
+// SetInjector installs (or, with nil, removes) the allocation fault
+// injector. Production paths pay one nil check per allocation when no
+// injector is set.
+func (m *Memory) SetInjector(inj Injector) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.inj = inj
+}
+
+// InjectedFaults reports how many allocations the injector has failed.
+func (m *Memory) InjectedFaults() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.injected
+}
+
+// AllocSeq reports the number of allocation attempts made so far.
+func (m *Memory) AllocSeq() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.allocSeq
+}
+
+// injectFault advances the allocation sequence and consults the injector.
+// Called with m.mu held.
+func (m *Memory) injectFault(kind FrameKind) bool {
+	m.allocSeq++
+	if m.inj != nil && m.inj.FailAlloc(m.allocSeq, kind) {
+		m.injected++
+		return true
+	}
+	return false
+}
+
 // AllocBlock allocates a 2MB-aligned block of 512 frames for a huge page,
 // returning the base frame. The base carries the block's reference count.
 func (m *Memory) AllocBlock(kind FrameKind) (memdefs.PPN, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.injectFault(kind) {
+		return 0, ErrInjectedFault
+	}
 	if len(m.blocks) == 0 {
 		return 0, ErrOutOfMemory
 	}
@@ -147,11 +214,19 @@ func (m *Memory) PeakAllocated() int {
 // ErrOutOfMemory is returned when no free frame exists.
 var ErrOutOfMemory = fmt.Errorf("physmem: out of physical frames")
 
+// ErrInjectedFault is returned when the configured Injector fails an
+// allocation. It wraps ErrOutOfMemory so callers handle both identically
+// (errors.Is(err, ErrOutOfMemory) is true for injected faults).
+var ErrInjectedFault = fmt.Errorf("%w (injected fault)", ErrOutOfMemory)
+
 // Alloc allocates one frame of the given kind with an initial reference
 // count of 1. Table frames get a zeroed entry array.
 func (m *Memory) Alloc(kind FrameKind) (memdefs.PPN, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.injectFault(kind) {
+		return 0, ErrInjectedFault
+	}
 	if len(m.free) == 0 {
 		return 0, ErrOutOfMemory
 	}
@@ -183,19 +258,23 @@ func (m *Memory) MustAlloc(kind FrameKind) memdefs.PPN {
 }
 
 // Get returns the metadata for a frame. The returned pointer is stable for
-// the life of the Memory.
+// the life of the Memory. PPN 0 is valid to inspect — it is the reserved
+// null frame, permanently FrameFree with zero references — matching the
+// allocator's view that every PPN in [0, NumFrames) is a real frame even
+// though frame 0 is never handed out. Out-of-range PPNs are a caller bug.
 func (m *Memory) Get(ppn memdefs.PPN) *Frame {
-	if int(ppn) <= 0 || int(ppn) >= len(m.frames) {
-		panic(fmt.Sprintf("physmem: bad PPN %d", ppn))
+	if uint64(ppn) >= uint64(len(m.frames)) {
+		bugf("physmem: PPN %d out of range (%d frames)", ppn, len(m.frames))
 	}
 	return &m.frames[ppn]
 }
 
-// Kind reports the kind of a frame (FrameFree if out of range zero frame).
+// Kind reports the kind of a frame (FrameFree for out-of-range PPNs and
+// the reserved null frame 0).
 func (m *Memory) Kind(ppn memdefs.PPN) FrameKind {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if int(ppn) <= 0 || int(ppn) >= len(m.frames) {
+	if uint64(ppn) >= uint64(len(m.frames)) {
 		return FrameFree
 	}
 	return m.frames[ppn].Kind
@@ -206,9 +285,9 @@ func (m *Memory) Kind(ppn memdefs.PPN) FrameKind {
 func (m *Memory) Ref(ppn memdefs.PPN) int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	f := &m.frames[ppn]
+	f := m.Get(ppn)
 	if f.Kind == FrameFree {
-		panic(fmt.Sprintf("physmem: Ref of free frame %d", ppn))
+		bugf("physmem: Ref of free frame %d", ppn)
 	}
 	f.Refs++
 	return f.Refs
@@ -218,7 +297,19 @@ func (m *Memory) Ref(ppn memdefs.PPN) int {
 func (m *Memory) Refs(ppn memdefs.PPN) int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.frames[ppn].Refs
+	return m.Get(ppn).Refs
+}
+
+// ForEachAllocated calls fn for every non-free frame with a copy of its
+// metadata, in ascending PPN order. Used by the auditors.
+func (m *Memory) ForEachAllocated(fn func(ppn memdefs.PPN, f Frame)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := 1; i < len(m.frames); i++ {
+		if m.frames[i].Kind != FrameFree {
+			fn(memdefs.PPN(i), m.frames[i])
+		}
+	}
 }
 
 // Unref decrements the reference count; when it reaches zero the frame is
@@ -226,12 +317,12 @@ func (m *Memory) Refs(ppn memdefs.PPN) int {
 func (m *Memory) Unref(ppn memdefs.PPN) int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	f := &m.frames[ppn]
+	f := m.Get(ppn)
 	if f.Kind == FrameFree {
-		panic(fmt.Sprintf("physmem: Unref of free frame %d", ppn))
+		bugf("physmem: Unref of free frame %d", ppn)
 	}
 	if f.Refs <= 0 {
-		panic(fmt.Sprintf("physmem: Unref of frame %d with refcount %d", ppn, f.Refs))
+		bugf("physmem: Unref of frame %d with refcount %d", ppn, f.Refs)
 	}
 	f.Refs--
 	if f.Refs == 0 {
@@ -258,7 +349,7 @@ func (m *Memory) Unref(ppn memdefs.PPN) int {
 func (m *Memory) Table(ppn memdefs.PPN) *[memdefs.TableSize]uint64 {
 	f := m.Get(ppn)
 	if f.Kind != FrameTable || f.Table == nil {
-		panic(fmt.Sprintf("physmem: frame %d is not a table frame (%v)", ppn, f.Kind))
+		bugf("physmem: frame %d is not a table frame (%v)", ppn, f.Kind)
 	}
 	return f.Table
 }

@@ -1,6 +1,7 @@
 package physmem
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 
@@ -139,5 +140,102 @@ func TestRefcountInvariantQuick(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestGetBounds(t *testing.T) {
+	m := New(1 << 20) // 256 frames
+	n := m.NumFrames()
+	cases := []struct {
+		name      string
+		ppn       memdefs.PPN
+		wantPanic bool
+		wantKind  FrameKind
+	}{
+		{"reserved-zero", 0, false, FrameFree},
+		{"first-allocatable", 1, false, FrameFree},
+		{"last-valid", memdefs.PPN(n - 1), false, FrameFree},
+		{"one-past-end", memdefs.PPN(n), true, FrameFree},
+		{"far-past-end", memdefs.PPN(n) * 2, true, FrameFree},
+		{"max-uint64", memdefs.PPN(^uint64(0)), true, FrameFree},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				r := recover()
+				if tc.wantPanic && r == nil {
+					t.Fatalf("Get(%d) did not panic", tc.ppn)
+				}
+				if !tc.wantPanic && r != nil {
+					t.Fatalf("Get(%d) panicked: %v", tc.ppn, r)
+				}
+			}()
+			f := m.Get(tc.ppn)
+			if f.Kind != tc.wantKind {
+				t.Fatalf("Get(%d).Kind = %v, want %v", tc.ppn, f.Kind, tc.wantKind)
+			}
+		})
+	}
+	// The reserved null frame must never be handed out, but it is a real,
+	// inspectable frame.
+	if f := m.Get(0); f.Refs != 0 || f.Kind != FrameFree {
+		t.Fatalf("reserved frame 0 mutated: %+v", f)
+	}
+}
+
+type nthInjector struct{ n uint64 }
+
+func (i nthInjector) FailAlloc(seq uint64, kind FrameKind) bool { return seq%i.n == 0 }
+
+func TestInjectorSeam(t *testing.T) {
+	m := New(1 << 20)
+	m.SetInjector(nthInjector{n: 3})
+	var fails int
+	for i := 0; i < 9; i++ {
+		_, err := m.Alloc(FrameData)
+		if err != nil {
+			if !errors.Is(err, ErrOutOfMemory) {
+				t.Fatalf("injected error does not unwrap to ErrOutOfMemory: %v", err)
+			}
+			if !errors.Is(err, ErrInjectedFault) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			fails++
+		}
+	}
+	if fails != 3 {
+		t.Fatalf("9 allocations with every-3rd injector failed %d times, want 3", fails)
+	}
+	if m.InjectedFaults() != 3 {
+		t.Fatalf("InjectedFaults() = %d, want 3", m.InjectedFaults())
+	}
+	// Disabling the injector restores normal service and keeps the counter.
+	m.SetInjector(nil)
+	if _, err := m.Alloc(FrameData); err != nil {
+		t.Fatalf("alloc with injector removed: %v", err)
+	}
+	if m.InjectedFaults() != 3 {
+		t.Fatal("InjectedFaults reset by SetInjector(nil)")
+	}
+	if rep := m.Audit(); !rep.OK() {
+		t.Fatalf("audit after injection: %s", rep)
+	}
+}
+
+func TestAuditDetectsCorruption(t *testing.T) {
+	m := New(1 << 20)
+	p := m.MustAlloc(FrameData)
+	if rep := m.Audit(); !rep.OK() {
+		t.Fatalf("clean memory audits dirty: %s", rep)
+	}
+	// Corrupt: clear the refcount behind the allocator's back.
+	m.Get(p).Refs = 0
+	rep := m.Audit()
+	if rep.OK() {
+		t.Fatal("audit missed a zero-ref allocated frame")
+	}
+	m.Get(p).Refs = 1
+	if rep := m.Audit(); !rep.OK() {
+		t.Fatalf("audit still dirty after repair: %s", rep)
 	}
 }

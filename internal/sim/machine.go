@@ -9,6 +9,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 
 	"babelfish/internal/cache"
@@ -114,6 +115,10 @@ type Task struct {
 	reqStartOwn memdefs.Cycles
 	inReq       bool
 	Done        bool
+	// OOMKilled marks a task terminated by the machine's OOM killer: an
+	// allocation failed even after reclaim, so the process was exited (its
+	// memory freed) instead of crashing the whole run.
+	OOMKilled bool
 
 	// FinishCycles is the core cycle count when the generator finished
 	// (run-to-completion workloads).
@@ -145,6 +150,8 @@ type Machine struct {
 	// context switches and faults (see internal/trace). Enable with
 	// EnableTracing.
 	Tracer *trace.Ring
+
+	oomKills uint64
 }
 
 // EnableTracing attaches an event ring holding up to n events.
@@ -325,6 +332,9 @@ func (m *Machine) runQuantumSMT(c *Core, t1, t2 *Task) (uint64, error) {
 
 		ppn, tc, tinfo, err := c.MMU.Translate(&t.ctx, step.VA, step.Write, step.Kind)
 		if err != nil {
+			if m.oomKill(c, t, err) {
+				continue
+			}
 			return instrs, fmt.Errorf("core %d pid %d (SMT): %w", c.ID, t.Proc.PID, err)
 		}
 		_ = tinfo
@@ -381,6 +391,9 @@ func (m *Machine) runQuantumTask(c *Core, t *Task) (uint64, error) {
 		// Translate, then access memory.
 		ppn, tc, tinfo, err := c.MMU.Translate(&t.ctx, step.VA, step.Write, step.Kind)
 		if err != nil {
+			if m.oomKill(c, t, err) {
+				break
+			}
 			return instrs, fmt.Errorf("core %d pid %d: %w", c.ID, t.Proc.PID, err)
 		}
 		if m.Tracer != nil {
@@ -417,6 +430,30 @@ func (m *Machine) runQuantumTask(c *Core, t *Task) (uint64, error) {
 	c.Instrs += instrs
 	return instrs, nil
 }
+
+// oomKill handles a translation failure caused by memory exhaustion: the
+// faulting task is terminated OOM-killer style — marked done, its process
+// exited so its memory returns to the pool — and the run continues.
+// Returns false for non-OOM errors, which still abort the run.
+func (m *Machine) oomKill(c *Core, t *Task, err error) bool {
+	if !errors.Is(err, physmem.ErrOutOfMemory) {
+		return false
+	}
+	t.Done = true
+	t.OOMKilled = true
+	t.FinishCycles = c.Cycles
+	m.oomKills++
+	if m.Tracer != nil {
+		m.Tracer.Record(trace.Event{
+			Kind: trace.EvFault, Core: uint8(c.ID), PID: t.Proc.PID, At: c.Cycles,
+		})
+	}
+	t.Proc.Exit()
+	return true
+}
+
+// OOMKills reports how many tasks the OOM killer has terminated.
+func (m *Machine) OOMKills() uint64 { return m.oomKills }
 
 // RunTaskOnly executes a single task to completion, giving it dedicated
 // quanta on its core (used to time container bring-up in isolation).
@@ -507,6 +544,19 @@ func (m *Machine) ResetStats() {
 	m.L3.ResetStats()
 	m.DRAM.ResetStats()
 	m.Kernel.ResetStats()
+}
+
+// Counters snapshots the machine's robustness counters: memory-pressure
+// events and how they were absorbed.
+func (m *Machine) Counters() metrics.Counters {
+	ks := m.Kernel.Stats()
+	return metrics.Counters{
+		OOMEvents:      ks.OOMEvents,
+		ReclaimedPages: ks.Reclaimed,
+		InjectedFaults: m.Mem.InjectedFaults(),
+		OOMKills:       m.oomKills,
+		KernelBugs:     kernel.BugCount() + physmem.BugPanics(),
+	}
 }
 
 // Tasks returns every task on the machine.

@@ -61,10 +61,10 @@ func setupProc(t *testing.T, m *Machine, g *kernel.Group, pages int) (*kernel.Pr
 	}
 	f, ok := m.Kernel.LookupFile("data")
 	if !ok {
-		f = m.Kernel.CreateFile("data", pages)
+		f = m.Kernel.MustCreateFile("data", pages)
 	}
-	r := g.Region("data", kernel.SegMmap, pages)
-	p.MapFile(r, f, 0, memdefs.PermRead|memdefs.PermUser, true, "data")
+	r := g.MustRegion("data", kernel.SegMmap, pages)
+	p.MustMapFile(r, f, 0, memdefs.PermRead|memdefs.PermUser, true, "data")
 	var gvas []memdefs.VAddr
 	for i := 0; i < pages; i++ {
 		gvas = append(gvas, r.PageVA(i))

@@ -141,34 +141,61 @@ func Deploy(m *sim.Machine, spec *AppSpec, scale float64, seed uint64) (*Deploym
 	d := &Deployment{Spec: spec, M: m, Group: g, scale: scale}
 
 	uniq := func(part string) string { return spec.Name + "/" + part }
-	d.Infra = k.CreateFile(uniq("infra"), fp.InfraPages)
-	d.Bin = k.CreateFile(uniq("bin"), fp.BinPages+fp.BinDataPages)
-	d.Libs = k.CreateFile(uniq("libs"), fp.LibPages)
-	d.Dataset = k.CreateFile(uniq("dataset"), fp.DatasetPages)
+	var err error
+	if d.Infra, err = k.CreateFile(uniq("infra"), fp.InfraPages); err != nil {
+		return nil, err
+	}
+	if d.Bin, err = k.CreateFile(uniq("bin"), fp.BinPages+fp.BinDataPages); err != nil {
+		return nil, err
+	}
+	if d.Libs, err = k.CreateFile(uniq("libs"), fp.LibPages); err != nil {
+		return nil, err
+	}
+	if d.Dataset, err = k.CreateFile(uniq("dataset"), fp.DatasetPages); err != nil {
+		return nil, err
+	}
 
-	d.RInfra = g.Region("infra", kernel.SegInfra, fp.InfraPages)
-	d.RBin = g.Region("bin", kernel.SegText, fp.BinPages)
-	d.RBinData = g.Region("bindata", kernel.SegData, fp.BinDataPages)
-	d.RLibs = g.Region("libs", kernel.SegLibs, fp.LibPages)
+	if d.RInfra, err = g.Region("infra", kernel.SegInfra, fp.InfraPages); err != nil {
+		return nil, err
+	}
+	if d.RBin, err = g.Region("bin", kernel.SegText, fp.BinPages); err != nil {
+		return nil, err
+	}
+	if d.RBinData, err = g.Region("bindata", kernel.SegData, fp.BinDataPages); err != nil {
+		return nil, err
+	}
+	if d.RLibs, err = g.Region("libs", kernel.SegLibs, fp.LibPages); err != nil {
+		return nil, err
+	}
 	const chunkGap = 1 << 30 // chunks 1GB apart: distinct PMD tables and PUD entries
 	if fp.DatasetChunkPages > 0 {
-		d.RDataset = g.ChunkedRegion("dataset", kernel.SegMmap, fp.DatasetPages, fp.DatasetChunkPages, chunkGap)
+		d.RDataset, err = g.ChunkedRegion("dataset", kernel.SegMmap, fp.DatasetPages, fp.DatasetChunkPages, chunkGap)
 	} else {
-		d.RDataset = g.Region("dataset", kernel.SegMmap, fp.DatasetPages)
+		d.RDataset, err = g.Region("dataset", kernel.SegMmap, fp.DatasetPages)
+	}
+	if err != nil {
+		return nil, err
 	}
 	if fp.PrivateChunkPages > 0 {
-		d.RPrivate = g.ChunkedRegion("private", kernel.SegHeap, fp.PrivatePages, fp.PrivateChunkPages, chunkGap)
+		d.RPrivate, err = g.ChunkedRegion("private", kernel.SegHeap, fp.PrivatePages, fp.PrivateChunkPages, chunkGap)
 	} else {
-		d.RPrivate = g.Region("private", kernel.SegHeap, fp.PrivatePages)
+		d.RPrivate, err = g.Region("private", kernel.SegHeap, fp.PrivatePages)
 	}
-	d.RScratch = g.Region("scratch", kernel.SegStack, fp.ScratchPages)
+	if err != nil {
+		return nil, err
+	}
+	if d.RScratch, err = g.Region("scratch", kernel.SegStack, fp.ScratchPages); err != nil {
+		return nil, err
+	}
 
 	tmpl, err := k.CreateProcess(g, spec.Name+"-template")
 	if err != nil {
 		return nil, err
 	}
 	d.Template = tmpl
-	d.mapAll(tmpl)
+	if err := d.mapAll(tmpl); err != nil {
+		return nil, err
+	}
 
 	for _, f := range []*kernel.File{d.Infra, d.Bin, d.Libs, d.Dataset} {
 		if err := f.Prefault(); err != nil {
@@ -179,30 +206,46 @@ func Deploy(m *sim.Machine, spec *AppSpec, scale float64, seed uint64) (*Deploym
 }
 
 // mapAll installs the application's VMAs into a process.
-func (d *Deployment) mapAll(p *kernel.Process) {
+func (d *Deployment) mapAll(p *kernel.Process) error {
 	fp := d.Spec.FP.scaled(d.scale)
-	p.MapFile(d.RInfra, d.Infra, 0, permRX, true, "infra")
-	p.MapFile(d.RBin, d.Bin, 0, permRX, true, "bin")
-	p.MapFile(d.RBinData, d.Bin, fp.BinPages, permRW, true, "bindata")
-	p.MapFile(d.RLibs, d.Libs, 0, permRX, true, "libs")
+	if _, err := p.MapFile(d.RInfra, d.Infra, 0, permRX, true, "infra"); err != nil {
+		return err
+	}
+	if _, err := p.MapFile(d.RBin, d.Bin, 0, permRX, true, "bin"); err != nil {
+		return err
+	}
+	if _, err := p.MapFile(d.RBinData, d.Bin, fp.BinPages, permRW, true, "bindata"); err != nil {
+		return err
+	}
+	if _, err := p.MapFile(d.RLibs, d.Libs, 0, permRX, true, "libs"); err != nil {
+		return err
+	}
 	dsPerm := d.Spec.DatasetPerm
 	if dsPerm == 0 {
 		dsPerm = permRO
 	}
-	mapChunks(p, d.RDataset, func(sub kernel.Region, off int, name string) {
-		p.MapFile(sub, d.Dataset, off, dsPerm, !d.Spec.DatasetShared, name)
+	err := mapChunks(p, d.RDataset, func(sub kernel.Region, off int, name string) error {
+		_, err := p.MapFile(sub, d.Dataset, off, dsPerm, !d.Spec.DatasetShared, name)
+		return err
 	}, "dataset")
-	mapChunks(p, d.RPrivate, func(sub kernel.Region, off int, name string) {
-		p.MapAnon(sub, permRW, name)
+	if err != nil {
+		return err
+	}
+	err = mapChunks(p, d.RPrivate, func(sub kernel.Region, off int, name string) error {
+		_, err := p.MapAnon(sub, permRW, name)
+		return err
 	}, "private")
-	p.MapAnon(d.RScratch, permRW, "scratch")
+	if err != nil {
+		return err
+	}
+	_, err = p.MapAnon(d.RScratch, permRW, "scratch")
+	return err
 }
 
 // mapChunks maps a region chunk by chunk (or in one piece when compact).
-func mapChunks(p *kernel.Process, r kernel.Region, mapOne func(sub kernel.Region, fileOff int, name string), name string) {
+func mapChunks(p *kernel.Process, r kernel.Region, mapOne func(sub kernel.Region, fileOff int, name string) error, name string) error {
 	if !r.Chunked() {
-		mapOne(r, 0, name)
-		return
+		return mapOne(r, 0, name)
 	}
 	left := r.Pages
 	for c, start := range r.ChunkStarts {
@@ -211,9 +254,12 @@ func mapChunks(p *kernel.Process, r kernel.Region, mapOne func(sub kernel.Region
 			n = left
 		}
 		sub := kernel.Region{Name: fmt.Sprintf("%s#%d", name, c), Seg: r.Seg, Start: start, Pages: n}
-		mapOne(sub, c*r.ChunkPages, fmt.Sprintf("%s#%d", name, c))
+		if err := mapOne(sub, c*r.ChunkPages, fmt.Sprintf("%s#%d", name, c)); err != nil {
+			return err
+		}
 		left -= n
 	}
+	return nil
 }
 
 // PrefaultAll populates every container's translations for all of its

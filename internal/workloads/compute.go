@@ -140,7 +140,9 @@ func (g *graphGen) rotateShard(edgePage int) {
 		n = r.Pages - chunk*r.ChunkPages
 	}
 	sub := kernel.Region{Name: v.Name, Seg: r.Seg, Start: start, Pages: n}
-	p.MapFile(sub, g.env.DatasetFile, chunk*r.ChunkPages, g.env.DatasetPerm, g.env.DatasetPrivate, fmt.Sprintf("dataset#%d", chunk))
+	// A failed remap (e.g. injected OOM) leaves the window unmapped; the
+	// next access faults and the generator retries via the normal path.
+	_, _ = p.MapFile(sub, g.env.DatasetFile, chunk*r.ChunkPages, g.env.DatasetPerm, g.env.DatasetPrivate, fmt.Sprintf("dataset#%d", chunk))
 }
 
 // datasetPage clamps a layout page into the mapped dataset region.

@@ -56,12 +56,25 @@ func DeployFaaS(m *sim.Machine, sparse bool, scale float64, seed uint64) (*FaaSG
 	g := k.NewGroup("faas", seed)
 	fg := &FaaSGroup{M: m, Group: g, fns: make(map[string]*faasFn), scale: scale}
 
-	fg.Infra = k.CreateFile("faas/infra", fp.InfraPages)
-	fg.Libs = k.CreateFile("faas/libs", fp.LibPages)
-	fg.Input = k.CreateFile("faas/input", fp.DatasetPages)
-	fg.RInfra = g.Region("infra", kernel.SegInfra, fp.InfraPages)
-	fg.RLibs = g.Region("libs", kernel.SegLibs, fp.LibPages)
-	fg.RInput = g.Region("input", kernel.SegMmap, fp.DatasetPages)
+	var err error
+	if fg.Infra, err = k.CreateFile("faas/infra", fp.InfraPages); err != nil {
+		return nil, err
+	}
+	if fg.Libs, err = k.CreateFile("faas/libs", fp.LibPages); err != nil {
+		return nil, err
+	}
+	if fg.Input, err = k.CreateFile("faas/input", fp.DatasetPages); err != nil {
+		return nil, err
+	}
+	if fg.RInfra, err = g.Region("infra", kernel.SegInfra, fp.InfraPages); err != nil {
+		return nil, err
+	}
+	if fg.RLibs, err = g.Region("libs", kernel.SegLibs, fp.LibPages); err != nil {
+		return nil, err
+	}
+	if fg.RInput, err = g.Region("input", kernel.SegMmap, fp.DatasetPages); err != nil {
+		return nil, err
+	}
 
 	behaviors := []FuncBehavior{
 		{Name: "parse", ThinkPerLine: 380, OutWriteEvery: 8},
@@ -71,11 +84,21 @@ func DeployFaaS(m *sim.Machine, sparse bool, scale float64, seed uint64) (*FaaSG
 	for _, b := range behaviors {
 		b = sparseVariant(b, fp.DatasetPages, sparse)
 		fn := &faasFn{behavior: b, lines: b.LinesPerPage}
-		fn.bin = k.CreateFile("faas/"+b.Name+"/bin", fp.BinPages+fp.BinDataPages)
-		fn.rBin = g.Region(b.Name+"/bin", kernel.SegText, fp.BinPages)
-		fn.rBinData = g.Region(b.Name+"/bindata", kernel.SegData, fp.BinDataPages)
-		fn.rPrivate = g.Region(b.Name+"/private", kernel.SegHeap, fp.PrivatePages)
-		fn.rScratch = g.Region(b.Name+"/scratch", kernel.SegStack, fp.ScratchPages)
+		if fn.bin, err = k.CreateFile("faas/"+b.Name+"/bin", fp.BinPages+fp.BinDataPages); err != nil {
+			return nil, err
+		}
+		if fn.rBin, err = g.Region(b.Name+"/bin", kernel.SegText, fp.BinPages); err != nil {
+			return nil, err
+		}
+		if fn.rBinData, err = g.Region(b.Name+"/bindata", kernel.SegData, fp.BinDataPages); err != nil {
+			return nil, err
+		}
+		if fn.rPrivate, err = g.Region(b.Name+"/private", kernel.SegHeap, fp.PrivatePages); err != nil {
+			return nil, err
+		}
+		if fn.rScratch, err = g.Region(b.Name+"/scratch", kernel.SegStack, fp.ScratchPages); err != nil {
+			return nil, err
+		}
 		fg.fns[b.Name] = fn
 	}
 
@@ -84,7 +107,9 @@ func DeployFaaS(m *sim.Machine, sparse bool, scale float64, seed uint64) (*FaaSG
 		return nil, err
 	}
 	fg.Template = tmpl
-	fg.mapAll(tmpl)
+	if err := fg.mapAll(tmpl); err != nil {
+		return nil, err
+	}
 
 	files := []*kernel.File{fg.Infra, fg.Libs, fg.Input}
 	for _, fn := range fg.fns {
@@ -101,17 +126,32 @@ func DeployFaaS(m *sim.Machine, sparse bool, scale float64, seed uint64) (*FaaSG
 // FunctionNames returns the registered function names in a stable order.
 func (fg *FaaSGroup) FunctionNames() []string { return []string{"parse", "hash", "marshal"} }
 
-func (fg *FaaSGroup) mapAll(p *kernel.Process) {
+func (fg *FaaSGroup) mapAll(p *kernel.Process) error {
 	fp := faasFootprint().scaled(fg.scale)
-	p.MapFile(fg.RInfra, fg.Infra, 0, permRX, true, "infra")
-	p.MapFile(fg.RLibs, fg.Libs, 0, permRX, true, "libs")
-	p.MapFile(fg.RInput, fg.Input, 0, permRO, true, "input")
-	for name, fn := range fg.fns {
-		p.MapFile(fn.rBin, fn.bin, 0, permRX, true, name+"/bin")
-		p.MapFile(fn.rBinData, fn.bin, fp.BinPages, permRW, true, name+"/bindata")
-		p.MapAnon(fn.rPrivate, permRW, name+"/private")
-		p.MapAnon(fn.rScratch, permRW, name+"/scratch")
+	if _, err := p.MapFile(fg.RInfra, fg.Infra, 0, permRX, true, "infra"); err != nil {
+		return err
 	}
+	if _, err := p.MapFile(fg.RLibs, fg.Libs, 0, permRX, true, "libs"); err != nil {
+		return err
+	}
+	if _, err := p.MapFile(fg.RInput, fg.Input, 0, permRO, true, "input"); err != nil {
+		return err
+	}
+	for name, fn := range fg.fns {
+		if _, err := p.MapFile(fn.rBin, fn.bin, 0, permRX, true, name+"/bin"); err != nil {
+			return err
+		}
+		if _, err := p.MapFile(fn.rBinData, fn.bin, fp.BinPages, permRW, true, name+"/bindata"); err != nil {
+			return err
+		}
+		if _, err := p.MapAnon(fn.rPrivate, permRW, name+"/private"); err != nil {
+			return err
+		}
+		if _, err := p.MapAnon(fn.rScratch, permRW, name+"/scratch"); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Env builds the generator environment of one function container.

@@ -18,7 +18,7 @@ func TestCCIDIsolation(t *testing.T) {
 	p.MemBytes = 256 << 20
 	m := sim.New(p)
 	k := m.Kernel
-	f := k.CreateFile("shared-lib", 64)
+	f := k.MustCreateFile("shared-lib", 64)
 
 	mkGroup := func(name string, seed uint64) (*kernel.Process, kernel.Region) {
 		g := k.NewGroup(name, seed)
@@ -26,8 +26,8 @@ func TestCCIDIsolation(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		r := g.Region("lib", kernel.SegLibs, 64)
-		pr.MapFile(r, f, 0, memdefs.PermRead|memdefs.PermExec|memdefs.PermUser, true, "lib")
+		r := g.MustRegion("lib", kernel.SegLibs, 64)
+		pr.MustMapFile(r, f, 0, memdefs.PermRead|memdefs.PermExec|memdefs.PermUser, true, "lib")
 		return pr, r
 	}
 	p1, r1 := mkGroup("tenantA", 1)

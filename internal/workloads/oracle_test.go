@@ -40,13 +40,13 @@ func TestTranslationOracle(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			file := k.CreateFile("file", 96)
-			rFile := g.Region("file", kernel.SegMmap, 64)
-			rData := g.Region("data", kernel.SegData, 32)
-			rHeap := g.Region("heap", kernel.SegHeap, 64)
-			tmpl.MapFile(rFile, file, 0, memdefs.PermRead|memdefs.PermUser, true, "file")
-			tmpl.MapFile(rData, file, 64, memdefs.PermRead|memdefs.PermWrite|memdefs.PermUser, true, "data")
-			tmpl.MapAnon(rHeap, memdefs.PermRead|memdefs.PermWrite|memdefs.PermUser, "heap")
+			file := k.MustCreateFile("file", 96)
+			rFile := g.MustRegion("file", kernel.SegMmap, 64)
+			rData := g.MustRegion("data", kernel.SegData, 32)
+			rHeap := g.MustRegion("heap", kernel.SegHeap, 64)
+			tmpl.MustMapFile(rFile, file, 0, memdefs.PermRead|memdefs.PermUser, true, "file")
+			tmpl.MustMapFile(rData, file, 64, memdefs.PermRead|memdefs.PermWrite|memdefs.PermUser, true, "data")
+			tmpl.MustMapAnon(rHeap, memdefs.PermRead|memdefs.PermWrite|memdefs.PermUser, "heap")
 
 			procs := []*kernel.Process{}
 			ctxs := map[memdefs.PID]*mmu.Ctx{}
@@ -109,7 +109,7 @@ func TestTranslationOracle(t *testing.T) {
 						if _, err := pr.Unmap(v); err != nil {
 							t.Fatal(err)
 						}
-						pr.MapAnon(rHeap, memdefs.PermRead|memdefs.PermWrite|memdefs.PermUser, "heap")
+						pr.MustMapAnon(rHeap, memdefs.PermRead|memdefs.PermWrite|memdefs.PermUser, "heap")
 					}
 				}
 				// Occasionally mprotect a container's data segment down
