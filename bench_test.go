@@ -475,6 +475,38 @@ func BenchmarkFork(b *testing.B) {
 	}
 }
 
+// BenchmarkTelemetry measures the simulation cost of the telemetry
+// layer: "off" is the default path (registry registered, nothing
+// observed), "on" adds histogram observation per access plus registry
+// sampling every 100k cycles. The off/on gap is the overhead budget the
+// telemetry design promises to keep near zero.
+func BenchmarkTelemetry(b *testing.B) {
+	run := func(b *testing.B, sampleEvery uint64, enable bool) {
+		m := NewMachine(Options{Arch: ArchBabelFish, Cores: 1, Mem: 512 << 20})
+		if enable {
+			m.EnableTelemetry(sampleEvery)
+		}
+		d, err := DeployApp(m, MongoDB, 0.1, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := d.Spawn(0, 1); err != nil {
+			b.Fatal(err)
+		}
+		if err := d.PrefaultAll(); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := m.Run(200_000); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, 0, false) })
+	b.Run("on", func(b *testing.B) { run(b, 100_000, true) })
+}
+
 // BenchmarkCacheAccess measures one L1-hit data access.
 func BenchmarkCacheAccess(b *testing.B) {
 	m := NewMachine(Options{Arch: ArchBaseline, Cores: 1, Mem: 256 << 20})

@@ -8,12 +8,18 @@
 //	bfsim [-app mongodb|arangodb|httpd|graphchi|fio] [-arch baseline|babelfish|both]
 //	      [-cores N] [-containers N] [-scale F] [-warm N] [-measure N] [-seed N]
 //	      [-audit] [-failnth N] [-failseed N]
+//	      [-metrics-out FILE] [-sample-every N] [-trace N]
 //
 // -audit cross-checks the allocator's refcounts against the kernel's page
 // tables after each run and exits non-zero on any violation. -failnth N
 // installs a deterministic fault injector that fails every Nth frame
 // allocation from prefault onwards (memory-pressure chaos; pair it with
 // -audit to verify the kernel absorbed the failures cleanly).
+//
+// -metrics-out FILE writes a versioned JSON run report: the run config,
+// the full telemetry registry and latency histograms for each simulated
+// architecture, and — with -sample-every N — a time series sampled every
+// N simulated cycles of the measured phase.
 package main
 
 import (
@@ -26,22 +32,25 @@ import (
 	"babelfish/internal/faultinject"
 	"babelfish/internal/metrics"
 	"babelfish/internal/physmem"
+	"babelfish/internal/telemetry"
 )
 
 func main() {
 	var (
-		app        = flag.String("app", "mongodb", "workload: mongodb, arangodb, httpd, graphchi, fio")
-		arch       = flag.String("arch", "both", "architecture: baseline, babelfish, both")
-		cores      = flag.Int("cores", 2, "number of cores")
-		containers = flag.Int("containers", 2, "containers per core")
-		scale      = flag.Float64("scale", 0.5, "dataset scale factor")
-		warm       = flag.Uint64("warm", 500_000, "warm-up instructions per core")
-		measure    = flag.Uint64("measure", 1_000_000, "measured instructions per core")
-		seed       = flag.Uint64("seed", 42, "random seed")
-		traceN     = flag.Int("trace", 0, "dump the last N translation events of each run")
-		audit      = flag.Bool("audit", false, "run the kernel invariant auditor after each run; exit non-zero on violations")
-		failNth    = flag.Uint64("failnth", 0, "fail every Nth frame allocation during the measured run (0 = off)")
-		failSeed   = flag.Uint64("failseed", 1, "fault-injector seed")
+		app         = flag.String("app", "mongodb", "workload: mongodb, arangodb, httpd, graphchi, fio")
+		arch        = flag.String("arch", "both", "architecture: baseline, babelfish, both")
+		cores       = flag.Int("cores", 2, "number of cores")
+		containers  = flag.Int("containers", 2, "containers per core")
+		scale       = flag.Float64("scale", 0.5, "dataset scale factor")
+		warm        = flag.Uint64("warm", 500_000, "warm-up instructions per core")
+		measure     = flag.Uint64("measure", 1_000_000, "measured instructions per core")
+		seed        = flag.Uint64("seed", 42, "random seed")
+		traceN      = flag.Int("trace", 0, "dump the last N translation events of each run")
+		audit       = flag.Bool("audit", false, "run the kernel invariant auditor after each run; exit non-zero on violations")
+		failNth     = flag.Uint64("failnth", 0, "fail every Nth frame allocation during the measured run (0 = off)")
+		failSeed    = flag.Uint64("failseed", 1, "fault-injector seed")
+		metricsOut  = flag.String("metrics-out", "", "write a JSON telemetry report to this file")
+		sampleEvery = flag.Uint64("sample-every", 0, "sample the metric registry every N simulated cycles (requires -metrics-out)")
 	)
 	flag.Parse()
 
@@ -51,8 +60,7 @@ func main() {
 	}
 	a, ok := apps[*app]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "bfsim: unknown app %q\n", *app)
-		os.Exit(1)
+		usageErr("unknown app %q (want mongodb, arangodb, httpd, graphchi or fio)", *app)
 	}
 
 	var archs []babelfish.Arch
@@ -64,8 +72,47 @@ func main() {
 	case "both":
 		archs = []babelfish.Arch{babelfish.ArchBaseline, babelfish.ArchBabelFish}
 	default:
-		fmt.Fprintf(os.Stderr, "bfsim: unknown arch %q\n", *arch)
-		os.Exit(1)
+		usageErr("unknown arch %q (want baseline, babelfish or both)", *arch)
+	}
+
+	// Flag consistency: catch silently-ignored or nonsensical combinations
+	// before spending minutes simulating.
+	if *cores < 1 || *containers < 1 {
+		usageErr("-cores and -containers must be at least 1")
+	}
+	if *scale <= 0 {
+		usageErr("-scale must be positive")
+	}
+	if *measure == 0 {
+		usageErr("-measure must be non-zero (nothing would be simulated)")
+	}
+	if *traceN < 0 {
+		usageErr("-trace must be non-negative")
+	}
+	if *sampleEvery > 0 && *metricsOut == "" {
+		usageErr("-sample-every requires -metrics-out (the time series is only emitted in the report)")
+	}
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "failseed" && *failNth == 0 {
+			usageErr("-failseed has no effect without -failnth")
+		}
+	})
+
+	var rep *telemetry.Report
+	if *metricsOut != "" {
+		rep = telemetry.NewReport("bfsim", map[string]string{
+			"app":          *app,
+			"arch":         *arch,
+			"cores":        fmt.Sprint(*cores),
+			"containers":   fmt.Sprint(*containers),
+			"scale":        fmt.Sprint(*scale),
+			"warm":         fmt.Sprint(*warm),
+			"measure":      fmt.Sprint(*measure),
+			"seed":         fmt.Sprint(*seed),
+			"sample_every": fmt.Sprint(*sampleEvery),
+			"failnth":      fmt.Sprint(*failNth),
+			"failseed":     fmt.Sprint(*failSeed),
+		})
 	}
 
 	auditFailed := false
@@ -80,16 +127,17 @@ func main() {
 		if *traceN > 0 {
 			m.EnableTracing(*traceN)
 		}
+		if rep != nil {
+			m.EnableTelemetry(*sampleEvery)
+		}
 		d, err := babelfish.DeployApp(m, a, *scale, *seed)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "bfsim:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		for c := 0; c < *cores; c++ {
 			for j := 0; j < *containers; j++ {
 				if _, _, err := d.Spawn(c, *seed+uint64(c*131+j)); err != nil {
-					fmt.Fprintln(os.Stderr, "bfsim:", err)
-					os.Exit(1)
+					fatal(err)
 				}
 			}
 		}
@@ -100,18 +148,15 @@ func main() {
 		}
 		if err := d.PrefaultAll(); err != nil {
 			if *failNth == 0 || !errors.Is(err, physmem.ErrOutOfMemory) {
-				fmt.Fprintln(os.Stderr, "bfsim:", err)
-				os.Exit(1)
+				fatal(err)
 			}
 		}
 		if err := m.Run(*warm); err != nil {
-			fmt.Fprintln(os.Stderr, "bfsim:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		m.ResetStats()
 		if err := m.Run(*measure); err != nil {
-			fmt.Fprintln(os.Stderr, "bfsim:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		m.Mem.SetInjector(nil)
 		ag := m.Aggregate()
@@ -134,10 +179,32 @@ func main() {
 			m.Tracer.Dump(os.Stdout, *traceN)
 			fmt.Print(m.Tracer.Summarize())
 		}
+		if rep != nil {
+			rep.AddArch(m.TelemetryReport(name))
+		}
 	}
 	fmt.Println(t)
+	if rep != nil {
+		if err := rep.WriteFile(*metricsOut); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("telemetry report (schema v%d) written to %s\n", telemetry.SchemaVersion, *metricsOut)
+	}
 	if auditFailed {
 		fmt.Fprintln(os.Stderr, "bfsim: audit found invariant violations")
 		os.Exit(1)
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bfsim:", err)
+	os.Exit(1)
+}
+
+// usageErr reports a flag mistake with the full usage text and exits
+// non-zero, mirroring the flag package's own error convention.
+func usageErr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "bfsim: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
 }

@@ -204,6 +204,18 @@ func TestFig7Timeline(t *testing.T) {
 	if !(c.Cycles < b.Cycles && b.Cycles < a.Cycles) {
 		t.Errorf("cycle ordering wrong: A=%d B=%d C=%d", a.Cycles, b.Cycles, c.Cycles)
 	}
+	// The telemetry diff captures the same story at the counter level:
+	// three minor faults conventionally, one under BabelFish.
+	if r.Delta == nil {
+		t.Fatal("no telemetry delta")
+	}
+	row, ok := r.Delta.Row("kernel.minor_faults")
+	if !ok || row.A != 3 || row.B != 1 {
+		t.Errorf("minor-fault delta: %+v (ok=%v)", row, ok)
+	}
+	if _, ok := r.Delta.Row("mmu.faults"); !ok {
+		t.Error("mmu.faults missing from delta")
+	}
 }
 
 // TestReportJSON runs the full pipeline at quick scale and checks the

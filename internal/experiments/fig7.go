@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"fmt"
 	"strings"
 
 	"babelfish/internal/kernel"
@@ -9,6 +8,7 @@ import (
 	"babelfish/internal/metrics"
 	"babelfish/internal/mmu"
 	"babelfish/internal/sim"
+	"babelfish/internal/telemetry"
 )
 
 // Fig7Step is one row of the paper's Figure 7 timeline: the translation
@@ -29,11 +29,15 @@ type Fig7Step struct {
 type Fig7Result struct {
 	Conventional [3]Fig7Step
 	BabelFish    [3]Fig7Step
+	// Delta compares the two machines' full telemetry registries after the
+	// three translations; only metrics whose values differ appear.
+	Delta *telemetry.DiffResult `json:"delta,omitempty"`
 }
 
 // Fig7 runs the example.
 func Fig7() (*Fig7Result, error) {
 	res := &Fig7Result{}
+	var snaps [2]*telemetry.Snapshot
 	for i, mode := range []kernel.Mode{kernel.ModeBaseline, kernel.ModeBabelFish} {
 		p := sim.DefaultParams(mode)
 		p.Cores = 2
@@ -88,10 +92,13 @@ func Fig7() (*Fig7Result, error) {
 		}
 		if i == 0 {
 			res.Conventional = steps
+			snaps[0] = m.Registry.Snapshot("conventional")
 		} else {
 			res.BabelFish = steps
+			snaps[1] = m.Registry.Snapshot("babelfish")
 		}
 	}
+	res.Delta = telemetry.Diff(snaps[0], snaps[1])
 	return res, nil
 }
 
@@ -108,6 +115,10 @@ func (r *Fig7Result) String() string {
 	}
 	render("Figure 7 (conventional): A on core 0, B on core 1, C on core 0 — each walks and faults", r.Conventional)
 	render("Figure 7 (BabelFish): B reuses A's page-table entries (no fault); C hits A's TLB entry", r.BabelFish)
-	b.WriteString(fmt.Sprintf("paper: conventional = 3 full walks + 3 minor faults; BabelFish = 1 walk+fault (A), 1 faultless walk (B), 1 TLB hit (C)\n"))
+	if r.Delta != nil {
+		b.WriteString(r.Delta.String())
+		b.WriteString("\n")
+	}
+	b.WriteString("paper: conventional = 3 full walks + 3 minor faults; BabelFish = 1 walk+fault (A), 1 faultless walk (B), 1 TLB hit (C)\n")
 	return b.String()
 }

@@ -5,7 +5,11 @@ import "fmt"
 // Counters is the robustness-counter snapshot of one machine: how much
 // memory pressure the run saw and how it was absorbed. Zero values mean
 // the run never hit pressure (the common case when no fault injector is
-// installed and memory is over-provisioned).
+// installed and memory is over-provisioned). The canonical source is
+// the machine's telemetry registry (kernel.oom_events,
+// kernel.reclaimed_pages, phys.injected_faults, sim.oom_kills,
+// sim.kernel_bugs); sim.(*Machine).Counters materializes this view
+// from it.
 type Counters struct {
 	// OOMEvents counts kernel allocations that failed even after reclaim.
 	OOMEvents uint64

@@ -154,11 +154,12 @@ const maxRetries = 16
 
 // Info describes how one translation was resolved (for tracing/tests).
 type Info struct {
-	Level      string // "L1", "L2", "walk"
-	Faults     int
-	SharedL2   bool
-	Size       memdefs.PageSizeClass
-	WalkMemAcc int
+	Level       string // "L1", "L2", "walk"
+	Faults      int
+	FaultCycles memdefs.Cycles // kernel cycles spent handling Faults
+	SharedL2    bool
+	Size        memdefs.PageSizeClass
+	WalkMemAcc  int
 }
 
 // Translate resolves va for the given context, charging all latency and
@@ -289,6 +290,7 @@ func (m *MMU) fault(ctx *Ctx, va memdefs.VAddr, write bool, kind memdefs.AccessK
 	info.Faults++
 	fc, err := m.OS.HandleFault(ctx.PID, va, write, kind)
 	m.stats.FaultCycles += fc
+	info.FaultCycles += fc
 	return fc, err
 }
 

@@ -19,6 +19,7 @@ import (
 	"babelfish/internal/metrics"
 	"babelfish/internal/mmu"
 	"babelfish/internal/physmem"
+	"babelfish/internal/telemetry"
 	"babelfish/internal/trace"
 )
 
@@ -151,6 +152,17 @@ type Machine struct {
 	// EnableTracing.
 	Tracer *trace.Ring
 
+	// Registry is the machine's telemetry registry: every stat producer
+	// is registered at construction via pull probes (see
+	// internal/telemetry and telemetry.go in this package). Snapshots
+	// work at any time; histogram and time-series collection start with
+	// EnableTelemetry.
+	Registry *telemetry.Registry
+
+	telemetryOn         bool
+	sampler             *telemetry.Sampler
+	histXlat, histFault *telemetry.Hist
+
 	oomKills uint64
 }
 
@@ -174,6 +186,7 @@ func New(p Params) *Machine {
 		m.Cores = append(m.Cores, core)
 	}
 	k.Hooks = m
+	m.registerMetrics()
 	return m
 }
 
@@ -298,6 +311,8 @@ func (m *Machine) runQuantumSMT(c *Core, t1, t2 *Task) (uint64, error) {
 	var step Step
 	var instrs uint64
 	turn := 0
+	observe := m.Tracer != nil || m.telemetryOn
+	sam := m.sampler
 	for c.Cycles < end {
 		t := tasks[turn%2]
 		turn++
@@ -337,7 +352,9 @@ func (m *Machine) runQuantumSMT(c *Core, t1, t2 *Task) (uint64, error) {
 			}
 			return instrs, fmt.Errorf("core %d pid %d (SMT): %w", c.ID, t.Proc.PID, err)
 		}
-		_ = tinfo
+		if observe {
+			m.observeTranslation(c, t, &step, tc, &tinfo)
+		}
 		pa := ppn.Addr() + memdefs.PAddr(memdefs.PageOffset(step.VA))
 		var dlat memdefs.Cycles
 		if step.Kind == memdefs.AccessInstr {
@@ -348,6 +365,9 @@ func (m *Machine) runQuantumSMT(c *Core, t1, t2 *Task) (uint64, error) {
 		c.Cycles += tc + dlat
 		t.Cycles += think + tc + dlat
 		t.Instrs += uint64(step.Think) + 1
+		if sam != nil {
+			sam.Tick(uint64(c.Cycles))
+		}
 	}
 	c.Instrs += instrs
 	return instrs, nil
@@ -364,6 +384,8 @@ func (m *Machine) runQuantumTask(c *Core, t *Task) (uint64, error) {
 	end := c.Cycles + m.Params.Quantum
 	var step Step
 	var instrs uint64
+	observe := m.Tracer != nil || m.telemetryOn
+	sam := m.sampler
 	for c.Cycles < end {
 		if !t.Gen.Next(&step) {
 			t.Done = true
@@ -396,25 +418,8 @@ func (m *Machine) runQuantumTask(c *Core, t *Task) (uint64, error) {
 			}
 			return instrs, fmt.Errorf("core %d pid %d: %w", c.ID, t.Proc.PID, err)
 		}
-		if m.Tracer != nil {
-			lvl := trace.LevelWalk
-			switch tinfo.Level {
-			case "L1":
-				lvl = trace.LevelL1
-			case "L2":
-				lvl = trace.LevelL2
-			}
-			m.Tracer.Record(trace.Event{
-				Kind: trace.EvAccess, Core: uint8(c.ID), PID: t.Proc.PID,
-				VA: step.VA, Write: step.Write, Instr: step.Kind == memdefs.AccessInstr,
-				Level: lvl, Cycles: tc, At: c.Cycles,
-			})
-			if tinfo.Faults > 0 {
-				m.Tracer.Record(trace.Event{
-					Kind: trace.EvFault, Core: uint8(c.ID), PID: t.Proc.PID,
-					VA: step.VA, Cycles: tc, At: c.Cycles,
-				})
-			}
+		if observe {
+			m.observeTranslation(c, t, &step, tc, &tinfo)
 		}
 		pa := ppn.Addr() + memdefs.PAddr(memdefs.PageOffset(step.VA))
 		var dlat memdefs.Cycles
@@ -425,6 +430,9 @@ func (m *Machine) runQuantumTask(c *Core, t *Task) (uint64, error) {
 		}
 		c.Cycles += tc + dlat
 		t.Cycles += think + tc + dlat
+		if sam != nil {
+			sam.Tick(uint64(c.Cycles))
+		}
 	}
 	t.Instrs += instrs
 	c.Instrs += instrs
@@ -544,18 +552,30 @@ func (m *Machine) ResetStats() {
 	m.L3.ResetStats()
 	m.DRAM.ResetStats()
 	m.Kernel.ResetStats()
+	m.Registry.ResetHistograms()
+	if m.sampler != nil {
+		m.sampler.Reset(0)
+	}
 }
 
 // Counters snapshots the machine's robustness counters: memory-pressure
-// events and how they were absorbed.
+// events and how they were absorbed. It is a thin view over the
+// telemetry registry, so the robustness counters print and export
+// through the same path as every performance counter.
 func (m *Machine) Counters() metrics.Counters {
-	ks := m.Kernel.Stats()
+	v := func(name string) uint64 {
+		f, ok := m.Registry.Value(name)
+		if !ok {
+			panic("sim: counter metric not registered: " + name)
+		}
+		return uint64(f)
+	}
 	return metrics.Counters{
-		OOMEvents:      ks.OOMEvents,
-		ReclaimedPages: ks.Reclaimed,
-		InjectedFaults: m.Mem.InjectedFaults(),
-		OOMKills:       m.oomKills,
-		KernelBugs:     kernel.BugCount() + physmem.BugPanics(),
+		OOMEvents:      v("kernel.oom_events"),
+		ReclaimedPages: v("kernel.reclaimed_pages"),
+		InjectedFaults: v("phys.injected_faults"),
+		OOMKills:       v("sim.oom_kills"),
+		KernelBugs:     v("sim.kernel_bugs"),
 	}
 }
 

@@ -1,0 +1,256 @@
+package sim
+
+import (
+	"babelfish/internal/cache"
+	"babelfish/internal/kernel"
+	"babelfish/internal/memdefs"
+	"babelfish/internal/mmu"
+	"babelfish/internal/physmem"
+	"babelfish/internal/telemetry"
+	"babelfish/internal/tlb"
+	"babelfish/internal/trace"
+)
+
+// Histogram names in the machine's registry.
+const (
+	// HistXlatLatency is the translation latency of every memory access
+	// (TLB lookups, ASLR transform, walk and fault time included).
+	HistXlatLatency = "xlat.latency"
+	// HistFaultCost is the kernel cycles spent on fault handling per
+	// faulting translation (one observation per access that faulted,
+	// covering all its retries).
+	HistFaultCost = "fault.cost"
+)
+
+// registerMetrics builds the machine's telemetry registry: every stat
+// producer is exposed through a pull probe that reads the producer's own
+// counters on demand, so the hot paths pay nothing until a snapshot or
+// sample is taken.
+func (m *Machine) registerMetrics() {
+	reg := telemetry.NewRegistry()
+	m.Registry = reg
+
+	mmuSum := func(f func(mmu.Stats) uint64) func() uint64 {
+		return func() uint64 {
+			var t uint64
+			for _, c := range m.Cores {
+				t += f(c.MMU.Stats())
+			}
+			return t
+		}
+	}
+	l2Sum := func(f func(tlb.Stats) uint64) func() uint64 {
+		return func() uint64 {
+			var t uint64
+			for _, c := range m.Cores {
+				t += f(c.MMU.L2.Stats())
+			}
+			return t
+		}
+	}
+	cacheSum := func(pick func(*Core) *cache.Cache, f func(cache.Stats) uint64) func() uint64 {
+		return func() uint64 {
+			var t uint64
+			for _, c := range m.Cores {
+				t += f(pick(c).Stats())
+			}
+			return t
+		}
+	}
+	kstat := func(f func(kernel.Stats) uint64) func() uint64 {
+		return func() uint64 { return f(m.Kernel.Stats()) }
+	}
+
+	// Machine scheduler.
+	reg.Counter("sim.instrs", "instr", "instructions executed across all cores", func() uint64 {
+		var t uint64
+		for _, c := range m.Cores {
+			t += c.Instrs
+		}
+		return t
+	})
+	reg.Gauge("sim.cycles", "cyc", "leading core clock", func() float64 {
+		var mx memdefs.Cycles
+		for _, c := range m.Cores {
+			if c.Cycles > mx {
+				mx = c.Cycles
+			}
+		}
+		return float64(mx)
+	})
+	reg.Counter("sim.oom_kills", "task", "tasks terminated by the OOM killer", func() uint64 { return m.oomKills })
+	reg.Counter("sim.kernel_bugs", "bug", "kernel/physmem invariant panics (process-wide)", func() uint64 {
+		return kernel.BugCount() + physmem.BugPanics()
+	})
+
+	// MMU roll-up across cores.
+	reg.Counter("mmu.translations", "xlat", "translations performed", mmuSum(func(s mmu.Stats) uint64 { return s.Translations }))
+	reg.Counter("mmu.l1_hits", "hit", "L1 TLB hits", mmuSum(func(s mmu.Stats) uint64 { return s.L1Hits }))
+	reg.Counter("mmu.l2_hits", "hit", "L2 TLB hits", mmuSum(func(s mmu.Stats) uint64 { return s.L2Hits }))
+	reg.Counter("mmu.l2_misses", "miss", "L2 TLB misses", mmuSum(func(s mmu.Stats) uint64 { return s.L2Misses }))
+	reg.Counter("mmu.walks", "walk", "hardware page walks", mmuSum(func(s mmu.Stats) uint64 { return s.Walks }))
+	reg.Counter("mmu.faults", "fault", "page faults raised to the kernel", mmuSum(func(s mmu.Stats) uint64 { return s.Faults }))
+	reg.Counter("mmu.fault_cycles", "cyc", "kernel fault-handling cycles", mmuSum(func(s mmu.Stats) uint64 { return uint64(s.FaultCycles) }))
+	reg.Counter("mmu.xlat_cycles", "cyc", "total translation cycles", mmuSum(func(s mmu.Stats) uint64 { return uint64(s.TotalCycles) }))
+	reg.Counter("mmu.l2_miss_data", "miss", "L2 TLB data misses", mmuSum(func(s mmu.Stats) uint64 { return s.L2MissData }))
+	reg.Counter("mmu.l2_miss_instr", "miss", "L2 TLB instruction misses", mmuSum(func(s mmu.Stats) uint64 { return s.L2MissInstr }))
+	reg.Counter("mmu.l2_hit_data", "hit", "L2 TLB data hits", mmuSum(func(s mmu.Stats) uint64 { return s.L2HitData }))
+	reg.Counter("mmu.l2_hit_instr", "hit", "L2 TLB instruction hits", mmuSum(func(s mmu.Stats) uint64 { return s.L2HitInstr }))
+	reg.Counter("mmu.l2_shared_data", "hit", "L2 TLB data hits on another process's entry", mmuSum(func(s mmu.Stats) uint64 { return s.L2SharedData }))
+	reg.Counter("mmu.l2_shared_instr", "hit", "L2 TLB instruction hits on another process's entry", mmuSum(func(s mmu.Stats) uint64 { return s.L2SharedInstr }))
+	reg.Counter("mmu.walk_req_pwc", "req", "walk requests served by the PWC", mmuSum(func(s mmu.Stats) uint64 { return s.WalkReqPWC }))
+	reg.Counter("mmu.walk_req_l2", "req", "walk requests served by the L2 cache", mmuSum(func(s mmu.Stats) uint64 { return s.WalkReqL2 }))
+	reg.Counter("mmu.walk_req_l3", "req", "walk requests served by the L3 cache", mmuSum(func(s mmu.Stats) uint64 { return s.WalkReqL3 }))
+	reg.Counter("mmu.walk_req_mem", "req", "walk requests served by DRAM", mmuSum(func(s mmu.Stats) uint64 { return s.WalkReqMem }))
+
+	// L2 TLB structure counters (per-size-class structures summed).
+	reg.Counter("tlb.l2.accesses", "probe", "L2 TLB probes", l2Sum(func(s tlb.Stats) uint64 { return s.Accesses }))
+	reg.Counter("tlb.l2.hits", "hit", "L2 TLB structure hits", l2Sum(func(s tlb.Stats) uint64 { return s.Hits }))
+	reg.Counter("tlb.l2.misses", "miss", "L2 TLB structure misses", l2Sum(func(s tlb.Stats) uint64 { return s.Misses }))
+	reg.Counter("tlb.l2.shared_hits", "hit", "hits on entries brought in by another process", l2Sum(func(s tlb.Stats) uint64 { return s.SharedHits }))
+	reg.Counter("tlb.l2.mask_checks", "check", "Figure-8 PC-bitmask reads", l2Sum(func(s tlb.Stats) uint64 { return s.MaskChecks }))
+	reg.Counter("tlb.l2.fills", "fill", "entries installed", l2Sum(func(s tlb.Stats) uint64 { return s.Fills }))
+	reg.Counter("tlb.l2.evictions", "evict", "entries evicted", l2Sum(func(s tlb.Stats) uint64 { return s.Evictions }))
+	reg.Counter("tlb.l2.invalidations", "inv", "entries invalidated by shootdowns", l2Sum(func(s tlb.Stats) uint64 { return s.Invalidations }))
+
+	// Page-walk cache.
+	reg.Counter("pwc.accesses", "probe", "PWC probes", func() uint64 {
+		var t uint64
+		for _, c := range m.Cores {
+			t += c.MMU.PWC.Stats().Accesses
+		}
+		return t
+	})
+	reg.Counter("pwc.hits", "hit", "PWC hits", func() uint64 {
+		var t uint64
+		for _, c := range m.Cores {
+			t += c.MMU.PWC.Stats().Hits
+		}
+		return t
+	})
+	reg.Counter("pwc.misses", "miss", "PWC misses", func() uint64 {
+		var t uint64
+		for _, c := range m.Cores {
+			t += c.MMU.PWC.Stats().Misses
+		}
+		return t
+	})
+
+	// Cache hierarchy (private levels summed across cores) and DRAM.
+	reg.Counter("cache.l1d.accesses", "acc", "L1D accesses", cacheSum(func(c *Core) *cache.Cache { return c.Hier.L1D }, func(s cache.Stats) uint64 { return s.Accesses }))
+	reg.Counter("cache.l1d.misses", "miss", "L1D misses", cacheSum(func(c *Core) *cache.Cache { return c.Hier.L1D }, func(s cache.Stats) uint64 { return s.Misses }))
+	reg.Counter("cache.l1i.accesses", "acc", "L1I accesses", cacheSum(func(c *Core) *cache.Cache { return c.Hier.L1I }, func(s cache.Stats) uint64 { return s.Accesses }))
+	reg.Counter("cache.l1i.misses", "miss", "L1I misses", cacheSum(func(c *Core) *cache.Cache { return c.Hier.L1I }, func(s cache.Stats) uint64 { return s.Misses }))
+	reg.Counter("cache.l2.accesses", "acc", "private L2 accesses", cacheSum(func(c *Core) *cache.Cache { return c.Hier.L2 }, func(s cache.Stats) uint64 { return s.Accesses }))
+	reg.Counter("cache.l2.misses", "miss", "private L2 misses", cacheSum(func(c *Core) *cache.Cache { return c.Hier.L2 }, func(s cache.Stats) uint64 { return s.Misses }))
+	reg.Counter("cache.l3.accesses", "acc", "shared L3 accesses", func() uint64 { return m.L3.Stats().Accesses })
+	reg.Counter("cache.l3.misses", "miss", "shared L3 misses", func() uint64 { return m.L3.Stats().Misses })
+	reg.Counter("dram.reads", "req", "DRAM reads", func() uint64 { return m.DRAM.Stats().Reads })
+	reg.Counter("dram.writes", "req", "DRAM writes", func() uint64 { return m.DRAM.Stats().Writes })
+	reg.Counter("dram.row_hits", "hit", "DRAM row-buffer hits", func() uint64 { return m.DRAM.Stats().RowHits })
+	reg.Counter("dram.row_misses", "miss", "DRAM row-buffer misses", func() uint64 { return m.DRAM.Stats().RowMisses })
+
+	// Kernel.
+	reg.Counter("kernel.forks", "fork", "forks", kstat(func(s kernel.Stats) uint64 { return s.Forks }))
+	reg.Counter("kernel.fork_copied_ptes", "pte", "pte_t copied at fork", kstat(func(s kernel.Stats) uint64 { return s.ForkCopiedPTEs }))
+	reg.Counter("kernel.fork_linked_tables", "table", "shared tables linked at fork", kstat(func(s kernel.Stats) uint64 { return s.ForkLinkedTables }))
+	reg.Counter("kernel.minor_faults", "fault", "minor faults", kstat(func(s kernel.Stats) uint64 { return s.MinorFaults }))
+	reg.Counter("kernel.major_faults", "fault", "major faults", kstat(func(s kernel.Stats) uint64 { return s.MajorFaults }))
+	reg.Counter("kernel.zero_fill_faults", "fault", "zero-fill faults", kstat(func(s kernel.Stats) uint64 { return s.ZeroFillFaults }))
+	reg.Counter("kernel.cow_faults", "fault", "copy-on-write faults", kstat(func(s kernel.Stats) uint64 { return s.CoWFaults }))
+	reg.Counter("kernel.link_faults", "fault", "faults resolved by linking a shared table", kstat(func(s kernel.Stats) uint64 { return s.LinkFaults }))
+	reg.Counter("kernel.shared_installs", "pte", "entries installed into group-shared tables", kstat(func(s kernel.Stats) uint64 { return s.SharedInstalls }))
+	reg.Counter("kernel.private_installs", "pte", "entries installed into private tables", kstat(func(s kernel.Stats) uint64 { return s.PrivateInstalls }))
+	reg.Counter("kernel.pte_page_copies", "copy", "BabelFish private PTE-page copies", kstat(func(s kernel.Stats) uint64 { return s.PTEPageCopies }))
+	reg.Counter("kernel.mask_pages", "page", "MaskPages allocated", kstat(func(s kernel.Stats) uint64 { return s.MaskPages }))
+	reg.Counter("kernel.mask_overflows", "event", "PC-bitmask overflows (33rd writer)", kstat(func(s kernel.Stats) uint64 { return s.MaskOverflows }))
+	reg.Counter("kernel.shootdowns", "event", "TLB shootdown rounds", kstat(func(s kernel.Stats) uint64 { return s.Shootdowns }))
+	reg.Counter("kernel.reclaimed_pages", "page", "page-cache frames evicted under pressure", kstat(func(s kernel.Stats) uint64 { return s.Reclaimed }))
+	reg.Counter("kernel.oom_events", "event", "allocation failures that survived reclaim", kstat(func(s kernel.Stats) uint64 { return s.OOMEvents }))
+	reg.Counter("kernel.fault_cycles", "cyc", "cycles charged to kernel fault handling", kstat(func(s kernel.Stats) uint64 { return uint64(s.FaultCycles) }))
+
+	// Physical memory.
+	reg.Counter("phys.injected_faults", "fault", "allocations failed by the fault injector", func() uint64 { return m.Mem.InjectedFaults() })
+	reg.Gauge("phys.frames_free", "frame", "free 4KB frames", func() float64 { return float64(m.Mem.FreeFrames()) })
+	reg.Gauge("phys.frames_allocated", "frame", "allocated 4KB frames", func() float64 { return float64(m.Mem.Allocated()) })
+	reg.Gauge("phys.frames_peak", "frame", "peak allocated 4KB frames", func() float64 { return float64(m.Mem.PeakAllocated()) })
+
+	// Derived translation gauges (the paper's headline axes).
+	reg.Gauge("xlat.mpki_data", "mpki", "L2 TLB data misses per kilo-instruction", func() float64 { return m.Aggregate().MPKIData() })
+	reg.Gauge("xlat.mpki_instr", "mpki", "L2 TLB instruction misses per kilo-instruction", func() float64 { return m.Aggregate().MPKIInstr() })
+	reg.Gauge("xlat.shared_hit_frac_data", "frac", "fraction of L2 data hits on shared entries", func() float64 { return m.Aggregate().SharedHitFracD() })
+	reg.Gauge("xlat.shared_hit_frac_instr", "frac", "fraction of L2 instruction hits on shared entries", func() float64 { return m.Aggregate().SharedHitFracI() })
+
+	m.histXlat = reg.Histogram(HistXlatLatency, "cyc", "translation latency per memory access")
+	m.histFault = reg.Histogram(HistFaultCost, "cyc", "kernel fault cycles per faulting access")
+}
+
+// EnableTelemetry switches on histogram collection and, when sampleEvery
+// is non-zero, cycle-driven time-series sampling of the registry every
+// sampleEvery simulated cycles. Returns the machine's registry.
+func (m *Machine) EnableTelemetry(sampleEvery uint64) *telemetry.Registry {
+	m.telemetryOn = true
+	if sampleEvery > 0 {
+		m.sampler = telemetry.NewSampler(m.Registry, sampleEvery)
+	}
+	return m.Registry
+}
+
+// TelemetryEnabled reports whether histogram/sampling collection is on.
+func (m *Machine) TelemetryEnabled() bool { return m.telemetryOn }
+
+// Sampler returns the cycle-driven sampler (nil when sampling is off).
+func (m *Machine) Sampler() *telemetry.Sampler { return m.sampler }
+
+// XlatHist returns the translation-latency histogram.
+func (m *Machine) XlatHist() *telemetry.Hist { return m.histXlat }
+
+// FaultHist returns the fault-cost histogram.
+func (m *Machine) FaultHist() *telemetry.Hist { return m.histFault }
+
+// TelemetryReport dumps the machine's registry, histograms and time
+// series as one architecture's section of a run report.
+func (m *Machine) TelemetryReport(label string) telemetry.ArchReport {
+	a := telemetry.ArchReport{Arch: label, Metrics: m.Registry.Snapshot(label).Values}
+	for _, h := range m.Registry.Hists() {
+		a.Histograms = append(a.Histograms, h.Dump())
+	}
+	if m.sampler != nil {
+		a.Series = m.sampler.Series()
+	}
+	return a
+}
+
+// observeTranslation is the single instrumentation seam for a completed
+// translation: the trace ring and the telemetry histograms both hang off
+// it, so they observe exactly the same events. Callers gate it behind
+// the Tracer/telemetryOn nil checks to keep the disabled path free.
+func (m *Machine) observeTranslation(c *Core, t *Task, step *Step, tc memdefs.Cycles, info *mmu.Info) {
+	if m.telemetryOn {
+		m.histXlat.ObserveCycles(tc)
+		if info.Faults > 0 {
+			m.histFault.ObserveCycles(info.FaultCycles)
+		}
+	}
+	if m.Tracer == nil {
+		return
+	}
+	lvl := trace.LevelWalk
+	switch info.Level {
+	case "L1":
+		lvl = trace.LevelL1
+	case "L2":
+		lvl = trace.LevelL2
+	}
+	m.Tracer.Record(trace.Event{
+		Kind: trace.EvAccess, Core: uint8(c.ID), PID: t.Proc.PID,
+		VA: step.VA, Write: step.Write, Instr: step.Kind == memdefs.AccessInstr,
+		Level: lvl, Cycles: tc, At: c.Cycles,
+	})
+	if info.Faults > 0 {
+		m.Tracer.Record(trace.Event{
+			Kind: trace.EvFault, Core: uint8(c.ID), PID: t.Proc.PID,
+			VA: step.VA, Cycles: info.FaultCycles, At: c.Cycles,
+		})
+	}
+}

@@ -1,0 +1,64 @@
+package telemetry
+
+import (
+	"babelfish/internal/metrics"
+)
+
+// DiffRow is one metric's baseline-vs-candidate comparison.
+type DiffRow struct {
+	Name   string  `json:"name"`
+	A      float64 `json:"a"`
+	B      float64 `json:"b"`
+	Delta  float64 `json:"delta"`
+	RedPct float64 `json:"redPct"` // percentage reduction of B vs A (positive = B lower)
+}
+
+// DiffResult compares two snapshots metric by metric.
+type DiffResult struct {
+	ALabel, BLabel string
+	Rows           []DiffRow
+}
+
+// Diff compares two registry snapshots (typically baseline vs BabelFish
+// machines of the same run), keeping the rows where the two sides
+// actually differ. Metrics present in only one snapshot are skipped:
+// the comparison is only meaningful over the common registry. The
+// experiment runners use this in place of hand-rolled per-counter
+// comparison printing.
+func Diff(a, b *Snapshot) *DiffResult {
+	d := &DiffResult{ALabel: a.Label, BLabel: b.Label}
+	for _, av := range a.Values {
+		bv, ok := b.Value(av.Name)
+		if !ok || av.Value == bv {
+			continue
+		}
+		d.Rows = append(d.Rows, DiffRow{
+			Name:   av.Name,
+			A:      av.Value,
+			B:      bv,
+			Delta:  bv - av.Value,
+			RedPct: metrics.ReductionPct(av.Value, bv),
+		})
+	}
+	return d
+}
+
+// Row returns the named row.
+func (d *DiffResult) Row(name string) (DiffRow, bool) {
+	for _, r := range d.Rows {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return DiffRow{}, false
+}
+
+// String renders the comparison as a fixed-width table.
+func (d *DiffResult) String() string {
+	t := metrics.NewTable("telemetry diff: "+d.ALabel+" vs "+d.BLabel,
+		"metric", d.ALabel, d.BLabel, "delta", "red%")
+	for _, r := range d.Rows {
+		t.Row(r.Name, r.A, r.B, r.Delta, r.RedPct)
+	}
+	return t.String()
+}

@@ -1,0 +1,67 @@
+package telemetry
+
+// Sample is one time-series point: every registered metric's value at a
+// machine cycle, in the registry's registration order (Series.Names).
+type Sample struct {
+	Cycle  uint64    `json:"cycle"`
+	Values []float64 `json:"values"`
+}
+
+// Series is an exported time series.
+type Series struct {
+	EveryCycles uint64   `json:"everyCycles"`
+	Names       []string `json:"names"`
+	Samples     []Sample `json:"samples"`
+}
+
+// Sampler snapshots a registry into an in-memory time series as
+// simulated time advances. The machine ticks it from the scheduling
+// loop with its current cycle count; a sample is taken the first time
+// the clock is seen at or past each N-cycle boundary, so the series
+// advances by ~Every cycles regardless of quantum length. Tick's fast
+// path (not yet due) is a single compare.
+type Sampler struct {
+	reg     *Registry
+	every   uint64
+	next    uint64
+	samples []Sample
+}
+
+// NewSampler creates a sampler over reg taking a sample every `every`
+// simulated cycles (minimum 1).
+func NewSampler(reg *Registry, every uint64) *Sampler {
+	if every < 1 {
+		every = 1
+	}
+	return &Sampler{reg: reg, every: every, next: every}
+}
+
+// Every returns the sampling interval in cycles.
+func (s *Sampler) Every() uint64 { return s.every }
+
+// Tick advances the sampler to the given machine cycle, taking one
+// sample if a boundary has been crossed since the last sample. Cycles
+// observed out of order (a lagging core's clock) are ignored.
+func (s *Sampler) Tick(cycle uint64) {
+	if cycle < s.next {
+		return
+	}
+	s.samples = append(s.samples, Sample{Cycle: cycle, Values: s.reg.read(make([]float64, 0, s.reg.Len()))})
+	// Skip boundaries the quantum jumped over; never sample twice for one.
+	s.next = cycle - cycle%s.every + s.every
+}
+
+// Len reports the number of samples taken.
+func (s *Sampler) Len() int { return len(s.samples) }
+
+// Reset discards the series and restarts the boundary clock from the
+// given cycle (the warm-up/measurement boundary).
+func (s *Sampler) Reset(cycle uint64) {
+	s.samples = nil
+	s.next = cycle - cycle%s.every + s.every
+}
+
+// Series exports the time series.
+func (s *Sampler) Series() *Series {
+	return &Series{EveryCycles: s.every, Names: s.reg.Names(), Samples: s.samples}
+}

@@ -1,0 +1,196 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"sort"
+	"testing"
+)
+
+// reportPath optionally points at a bfsim-produced -metrics-out file; when
+// set (via `go test ./internal/telemetry -args -telemetry.report=...`), the
+// golden-schema test validates that file instead of a synthetic report. CI
+// uses this to catch schema drift in the real tool output.
+var reportPath = flag.String("telemetry.report", "", "path to a bfsim -metrics-out report to validate")
+
+// goldenKeyPaths is the frozen JSON shape of SchemaVersion 1. Any key added,
+// removed, or renamed in the report encoding must come with a SchemaVersion
+// bump and an update to this list.
+var goldenKeyPaths = []string{
+	"archs",
+	"archs[].arch",
+	"archs[].histograms",
+	"archs[].histograms[].buckets",
+	"archs[].histograms[].buckets[].count",
+	"archs[].histograms[].buckets[].le",
+	"archs[].histograms[].count",
+	"archs[].histograms[].help",
+	"archs[].histograms[].max",
+	"archs[].histograms[].mean",
+	"archs[].histograms[].name",
+	"archs[].histograms[].p50",
+	"archs[].histograms[].p90",
+	"archs[].histograms[].p99",
+	"archs[].histograms[].sum",
+	"archs[].histograms[].unit",
+	"archs[].metrics",
+	"archs[].metrics[].help",
+	"archs[].metrics[].kind",
+	"archs[].metrics[].name",
+	"archs[].metrics[].unit",
+	"archs[].metrics[].value",
+	"archs[].series",
+	"archs[].series.everyCycles",
+	"archs[].series.names",
+	"archs[].series.samples",
+	"archs[].series.samples[].cycle",
+	"archs[].series.samples[].values",
+	"config",
+	"schemaVersion",
+	"tool",
+}
+
+// requiredKeyPaths must be present in every well-formed report; the rest of
+// the golden set covers omitempty fields that a given run may leave out.
+var requiredKeyPaths = []string{
+	"archs",
+	"archs[].arch",
+	"archs[].histograms",
+	"archs[].histograms[].count",
+	"archs[].histograms[].name",
+	"archs[].histograms[].p50",
+	"archs[].histograms[].p90",
+	"archs[].histograms[].p99",
+	"archs[].metrics",
+	"archs[].metrics[].kind",
+	"archs[].metrics[].name",
+	"archs[].metrics[].value",
+	"config",
+	"schemaVersion",
+	"tool",
+}
+
+// collectKeyPaths walks decoded JSON and records every object key as a
+// dotted path, with "[]" marking array traversal. Children of "config" are
+// skipped: it is a free-form string map whose keys are run-dependent.
+func collectKeyPaths(v any, prefix string, into map[string]bool) {
+	switch x := v.(type) {
+	case map[string]any:
+		for k, child := range x {
+			p := k
+			if prefix != "" {
+				p = prefix + "." + k
+			}
+			into[p] = true
+			if p == "config" {
+				continue
+			}
+			collectKeyPaths(child, p, into)
+		}
+	case []any:
+		for _, child := range x {
+			collectKeyPaths(child, prefix+"[]", into)
+		}
+	}
+}
+
+func reportKeyPaths(t *testing.T, raw []byte) map[string]bool {
+	t.Helper()
+	var v any
+	if err := json.Unmarshal(raw, &v); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	paths := make(map[string]bool)
+	collectKeyPaths(v, "", paths)
+	return paths
+}
+
+func TestReportSchemaGolden(t *testing.T) {
+	var raw []byte
+	external := *reportPath != ""
+	if external {
+		b, err := os.ReadFile(*reportPath)
+		if err != nil {
+			t.Fatalf("read -telemetry.report file: %v", err)
+		}
+		raw = b
+	} else {
+		var err error
+		raw, err = json.Marshal(fullReport())
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	golden := make(map[string]bool, len(goldenKeyPaths))
+	for _, p := range goldenKeyPaths {
+		golden[p] = true
+	}
+	got := reportKeyPaths(t, raw)
+
+	var unknown []string
+	for p := range got {
+		if !golden[p] {
+			unknown = append(unknown, p)
+		}
+	}
+	sort.Strings(unknown)
+	if len(unknown) > 0 {
+		t.Errorf("report contains key paths not in the SchemaVersion %d golden set "+
+			"(bump SchemaVersion and update goldenKeyPaths): %v", SchemaVersion, unknown)
+	}
+	for _, p := range requiredKeyPaths {
+		if !got[p] {
+			t.Errorf("required key path %q missing from report", p)
+		}
+	}
+	if !external {
+		// The synthetic report populates every field, so it must produce the
+		// exact golden set; a field dropped from the encoding shows up here.
+		for p := range golden {
+			if !got[p] {
+				t.Errorf("golden key path %q not produced by a fully-populated report", p)
+			}
+		}
+	}
+
+	// Semantic checks on the decoded form, applied to real files too.
+	rep, err := ReadReportFile(pathOrTemp(t, external, raw))
+	if err != nil {
+		t.Fatalf("ReadReportFile: %v", err)
+	}
+	if rep.SchemaVersion != SchemaVersion {
+		t.Fatalf("schemaVersion = %d, want %d", rep.SchemaVersion, SchemaVersion)
+	}
+	if len(rep.Archs) == 0 {
+		t.Fatal("report has no archs")
+	}
+	for _, a := range rep.Archs {
+		if a.Arch == "" || len(a.Metrics) == 0 || len(a.Histograms) == 0 {
+			t.Fatalf("arch report incomplete: %+v", a.Arch)
+		}
+	}
+}
+
+func pathOrTemp(t *testing.T, external bool, raw []byte) string {
+	t.Helper()
+	if external {
+		return *reportPath
+	}
+	p := t.TempDir() + "/report.json"
+	if err := os.WriteFile(p, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestSchemaVersionIsOne(t *testing.T) {
+	// The golden key set above describes version 1; bumping the version
+	// without revisiting the set is exactly the drift this test exists to
+	// catch, so fail loudly and point at the file to edit.
+	if SchemaVersion != 1 {
+		t.Fatalf("SchemaVersion = %d: update goldenKeyPaths in schema_test.go "+
+			"for the new schema, then adjust this test", SchemaVersion)
+	}
+}

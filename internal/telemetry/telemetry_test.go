@@ -1,0 +1,200 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryProbesAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	n := uint64(0)
+	r.Counter("a.count", "evt", "a counter", func() uint64 { return n })
+	r.Gauge("a.gauge", "frac", "a gauge", func() float64 { return float64(n) / 2 })
+	if r.Len() != 2 {
+		t.Fatalf("len = %d", r.Len())
+	}
+
+	n = 10
+	if v, ok := r.Value("a.count"); !ok || v != 10 {
+		t.Fatalf("a.count = %v, %v", v, ok)
+	}
+	if v, ok := r.Value("a.gauge"); !ok || v != 5 {
+		t.Fatalf("a.gauge = %v, %v", v, ok)
+	}
+	if _, ok := r.Value("missing"); ok {
+		t.Fatal("missing metric resolved")
+	}
+
+	s := r.Snapshot("m1")
+	if s.Label != "m1" || len(s.Values) != 2 {
+		t.Fatalf("snapshot: %+v", s)
+	}
+	// Registration order preserved; probes are live (read at snapshot time).
+	if s.Values[0].Name != "a.count" || s.Values[0].Value != 10 || s.Values[0].Kind != "counter" {
+		t.Fatalf("values[0]: %+v", s.Values[0])
+	}
+	if s.Values[1].Kind != "gauge" {
+		t.Fatalf("values[1]: %+v", s.Values[1])
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "", "", func() uint64 { return 0 })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Counter("x", "", "", func() uint64 { return 0 })
+}
+
+func TestHistogramRegistrationIdempotent(t *testing.T) {
+	r := NewRegistry()
+	h1 := r.Histogram("lat", "cyc", "")
+	h2 := r.Histogram("lat", "cyc", "")
+	if h1 != h2 {
+		t.Fatal("same name returned distinct histograms")
+	}
+	if got, ok := r.Hist("lat"); !ok || got != h1 {
+		t.Fatal("Hist lookup failed")
+	}
+}
+
+func TestHistBucketsAndQuantiles(t *testing.T) {
+	h := NewHist("lat", "cyc", "")
+	// 100 observations of 10, 10 of 1000, 1 of 100000.
+	for i := 0; i < 100; i++ {
+		h.Observe(10)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1000)
+	}
+	h.Observe(100000)
+	if h.Count() != 111 || h.Max() != 100000 || h.Sum() != 100*10+10*1000+100000 {
+		t.Fatalf("count=%d max=%d sum=%d", h.Count(), h.Max(), h.Sum())
+	}
+	// p50 and p90 land in the value-10 bucket [8,15]; p99 in the
+	// value-1000 bucket [512,1023]; p100 ~ max.
+	if p := h.Quantile(0.50); p < 8 || p > 15 {
+		t.Fatalf("p50 = %v", p)
+	}
+	if p := h.Quantile(0.90); p < 8 || p > 15 {
+		t.Fatalf("p90 = %v", p)
+	}
+	if p := h.Quantile(0.99); p < 512 || p > 1023 {
+		t.Fatalf("p99 = %v", p)
+	}
+	if p := h.Quantile(1.0); p != 100000 {
+		t.Fatalf("p100 = %v", p)
+	}
+
+	d := h.Dump()
+	if d.Count != 111 || len(d.Buckets) != 3 {
+		t.Fatalf("dump: %+v", d)
+	}
+	var total uint64
+	for _, b := range d.Buckets {
+		total += b.Count
+	}
+	if total != 111 {
+		t.Fatalf("bucket counts sum to %d", total)
+	}
+
+	h.Reset()
+	if h.Count() != 0 || h.Quantile(0.5) != 0 || h.Name() != "lat" {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestHistZeroAndOne(t *testing.T) {
+	h := NewHist("h", "", "")
+	h.Observe(0)
+	h.Observe(1)
+	if p := h.Quantile(0.25); p != 0 {
+		t.Fatalf("p25 = %v", p)
+	}
+	if p := h.Quantile(1.0); p != 1 {
+		t.Fatalf("p100 = %v", p)
+	}
+}
+
+func TestSamplerBoundaries(t *testing.T) {
+	r := NewRegistry()
+	n := uint64(0)
+	r.Counter("n", "", "", func() uint64 { return n })
+	s := NewSampler(r, 100)
+
+	s.Tick(50) // below first boundary: no sample
+	if s.Len() != 0 {
+		t.Fatal("sampled early")
+	}
+	n = 1
+	s.Tick(120) // crosses 100
+	n = 2
+	s.Tick(130) // same interval: no new sample
+	s.Tick(90)  // out-of-order clock (another core): ignored
+	n = 3
+	s.Tick(450) // crosses 200..400 in one jump: exactly one sample
+	if s.Len() != 2 {
+		t.Fatalf("samples = %d", s.Len())
+	}
+	ser := s.Series()
+	if ser.EveryCycles != 100 || len(ser.Names) != 1 || ser.Names[0] != "n" {
+		t.Fatalf("series: %+v", ser)
+	}
+	if ser.Samples[0].Cycle != 120 || ser.Samples[0].Values[0] != 1 {
+		t.Fatalf("sample 0: %+v", ser.Samples[0])
+	}
+	if ser.Samples[1].Cycle != 450 || ser.Samples[1].Values[0] != 3 {
+		t.Fatalf("sample 1: %+v", ser.Samples[1])
+	}
+
+	// Next boundary after 450 is 500.
+	s.Tick(499)
+	if s.Len() != 2 {
+		t.Fatal("sampled inside interval")
+	}
+	s.Tick(500)
+	if s.Len() != 3 {
+		t.Fatal("boundary 500 missed")
+	}
+
+	s.Reset(0)
+	if s.Len() != 0 {
+		t.Fatal("reset kept samples")
+	}
+	s.Tick(100)
+	if s.Len() != 1 {
+		t.Fatal("post-reset boundary missed")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	r1, r2 := NewRegistry(), NewRegistry()
+	for _, r := range []*Registry{r1, r2} {
+		r := r
+		base := uint64(100)
+		if r == r2 {
+			base = 40
+		}
+		r.Counter("misses", "", "", func() uint64 { return base })
+		r.Counter("same", "", "", func() uint64 { return 7 })
+	}
+	r1.Counter("only_a", "", "", func() uint64 { return 1 })
+
+	d := Diff(r1.Snapshot("baseline"), r2.Snapshot("babelfish"))
+	if len(d.Rows) != 1 {
+		t.Fatalf("rows: %+v", d.Rows)
+	}
+	row, ok := d.Row("misses")
+	if !ok || row.A != 100 || row.B != 40 || row.Delta != -60 || row.RedPct != 60 {
+		t.Fatalf("row: %+v", row)
+	}
+	out := d.String()
+	for _, want := range []string{"baseline", "babelfish", "misses", "60.00"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("diff table missing %q:\n%s", want, out)
+		}
+	}
+}

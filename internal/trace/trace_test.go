@@ -66,6 +66,66 @@ func TestSummarize(t *testing.T) {
 	}
 }
 
+// TestSummarizeAfterWrap: once the ring wraps, the summary must describe
+// exactly the retained window — newest capacity events — not the evicted
+// prefix, while Total() still counts everything ever recorded.
+func TestSummarizeAfterWrap(t *testing.T) {
+	r := NewRing(4)
+	// These four are evicted by the later records and must not be counted.
+	for i := 0; i < 3; i++ {
+		r.Record(Event{Kind: EvAccess, Level: LevelL1, PID: 9, VA: 0x9000, Cycles: 1})
+	}
+	r.Record(Event{Kind: EvSwitch, PID: 9})
+	// Retained window: two walks, one fault, one switch.
+	r.Record(Event{Kind: EvAccess, Level: LevelWalk, PID: 1, VA: 0x1000, Cycles: 70})
+	r.Record(Event{Kind: EvAccess, Level: LevelWalk, PID: 1, VA: 0x1000, Cycles: 75})
+	r.Record(Event{Kind: EvFault, PID: 1, VA: 0x1000, Cycles: 1200})
+	r.Record(Event{Kind: EvSwitch, PID: 2})
+	if r.Total() != 8 || r.Len() != 4 {
+		t.Fatalf("total=%d len=%d", r.Total(), r.Len())
+	}
+	s := r.Summarize()
+	if s.Accesses != 2 || s.L1Hits != 0 || s.Walks != 2 {
+		t.Fatalf("evicted events leaked into summary: %+v", s)
+	}
+	if s.Faults != 1 || s.Switches != 1 {
+		t.Fatalf("fault/switch counts: %+v", s)
+	}
+	if s.XlatCycles != 145 || s.FaultCycles != 1200 {
+		t.Fatalf("cycles: %+v", s)
+	}
+	if len(s.PerPID) != 1 || s.PerPID[1] != 2 {
+		t.Fatalf("per-pid should only see retained PIDs: %+v", s.PerPID)
+	}
+	if s.HottestPages[memdefs.PageVPN(0x9000)] != 0 {
+		t.Fatalf("evicted page still hot: %+v", s.HottestPages)
+	}
+}
+
+// TestWrapExactBoundary: recording exactly capacity events fills the ring
+// without evicting anything.
+func TestWrapExactBoundary(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 4; i++ {
+		r.Record(Event{Kind: EvAccess, Level: LevelL2, VA: memdefs.VAddr(i), Cycles: 10})
+	}
+	if r.Len() != 4 || r.Total() != 4 {
+		t.Fatalf("len=%d total=%d", r.Len(), r.Total())
+	}
+	if evs := r.Events(); evs[0].VA != 0 || evs[3].VA != 3 {
+		t.Fatalf("order wrong at exact fill: %+v", evs)
+	}
+	if s := r.Summarize(); s.Accesses != 4 || s.L2Hits != 4 || s.XlatCycles != 40 {
+		t.Fatalf("summary at exact fill: %+v", s)
+	}
+	// One more record evicts exactly the oldest.
+	r.Record(Event{Kind: EvAccess, Level: LevelL2, VA: 99, Cycles: 10})
+	evs := r.Events()
+	if r.Total() != 5 || evs[0].VA != 1 || evs[3].VA != 99 {
+		t.Fatalf("post-boundary eviction wrong: total=%d %+v", r.Total(), evs)
+	}
+}
+
 func TestDump(t *testing.T) {
 	r := NewRing(8)
 	r.Record(Event{Kind: EvSwitch, Core: 1, PID: 7, At: 100})
