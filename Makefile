@@ -1,0 +1,18 @@
+GO ?= go
+
+.PHONY: build test race bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The parallel engine's safety proof: machines share no mutable state.
+race:
+	$(GO) test -race ./internal/experiments/... ./internal/sim/...
+
+# Regenerate BENCH_3.json: hot-path ns/op plus suite wall-clock serial
+# vs jobs=4, failing if the parallel output is not byte-identical.
+bench:
+	./scripts/bench.sh BENCH_3.json

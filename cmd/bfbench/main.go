@@ -29,8 +29,14 @@ func main() {
 		seed    = flag.Uint64("seed", 0, "random seed (0 = default)")
 		quick   = flag.Bool("quick", false, "use the reduced smoke-test options")
 		format  = flag.String("format", "text", "output format: text, json or markdown (json/markdown run all experiments)")
+		jobs    = flag.Int("jobs", 0, "parallel experiment cells (0 = GOMAXPROCS, 1 = serial); output is identical at any width")
 	)
 	flag.Parse()
+	if *jobs < 0 {
+		fmt.Fprintln(os.Stderr, "bfbench: -jobs must be >= 0")
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	o := experiments.Default()
 	if *quick {
@@ -51,6 +57,7 @@ func main() {
 	if *seed > 0 {
 		o.Seed = *seed
 	}
+	o.Jobs = *jobs
 
 	if *format == "json" || *format == "markdown" {
 		rep, err := experiments.RunAll(o)
@@ -82,7 +89,7 @@ func run(exp string, o experiments.Options) error {
 		fmt.Println(experiments.TableI(o))
 	}
 	if want("fig7") {
-		r, err := experiments.Fig7()
+		r, err := experiments.Fig7(o)
 		if err != nil {
 			return err
 		}

@@ -7,14 +7,21 @@
 //
 //	bfsim [-app mongodb|arangodb|httpd|graphchi|fio] [-arch baseline|babelfish|both]
 //	      [-cores N] [-containers N] [-scale F] [-warm N] [-measure N] [-seed N]
-//	      [-audit] [-failnth N] [-failseed N]
+//	      [-audit] [-failnth N] [-failseed N] [-jobs N] [-cpuprofile FILE]
 //	      [-metrics-out FILE] [-sample-every N] [-trace N]
 //
 // -audit cross-checks the allocator's refcounts against the kernel's page
-// tables after each run and exits non-zero on any violation. -failnth N
-// installs a deterministic fault injector that fails every Nth frame
-// allocation from prefault onwards (memory-pressure chaos; pair it with
-// -audit to verify the kernel absorbed the failures cleanly).
+// tables — and every valid TLB entry against a live PTE — after each run
+// and exits non-zero on any violation. -failnth N installs a deterministic
+// fault injector that fails every Nth frame allocation from prefault
+// onwards (memory-pressure chaos; pair it with -audit to verify the
+// kernel absorbed the failures cleanly).
+//
+// -jobs N simulates the architectures of -arch both on N workers (0 =
+// GOMAXPROCS). Each run owns its machine, so the results and the printed
+// report are identical at any width: output is buffered per architecture
+// and replayed in order. -cpuprofile FILE writes a pprof CPU profile of
+// the whole run.
 //
 // -metrics-out FILE writes a versioned JSON run report: the run config,
 // the full telemetry registry and latency histograms for each simulated
@@ -23,10 +30,14 @@
 package main
 
 import (
+	"bytes"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"sync"
 
 	"babelfish"
 	"babelfish/internal/faultinject"
@@ -35,7 +46,21 @@ import (
 	"babelfish/internal/telemetry"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// archResult is one architecture's finished run: its table row, its
+// buffered prints (replayed in declaration order so -jobs never reorders
+// output), and its telemetry section.
+type archResult struct {
+	name        string
+	out         bytes.Buffer
+	row         []interface{}
+	tel         telemetry.ArchReport
+	auditFailed bool
+	err         error
+}
+
+func run() int {
 	var (
 		app         = flag.String("app", "mongodb", "workload: mongodb, arangodb, httpd, graphchi, fio")
 		arch        = flag.String("arch", "both", "architecture: baseline, babelfish, both")
@@ -46,9 +71,11 @@ func main() {
 		measure     = flag.Uint64("measure", 1_000_000, "measured instructions per core")
 		seed        = flag.Uint64("seed", 42, "random seed")
 		traceN      = flag.Int("trace", 0, "dump the last N translation events of each run")
-		audit       = flag.Bool("audit", false, "run the kernel invariant auditor after each run; exit non-zero on violations")
+		audit       = flag.Bool("audit", false, "run the kernel invariant auditor (page tables + TLBs) after each run; exit non-zero on violations")
 		failNth     = flag.Uint64("failnth", 0, "fail every Nth frame allocation during the measured run (0 = off)")
 		failSeed    = flag.Uint64("failseed", 1, "fault-injector seed")
+		jobs        = flag.Int("jobs", 0, "run architectures on N parallel workers (0 = GOMAXPROCS, 1 = serial); output is identical at any width")
+		cpuprofile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
 		metricsOut  = flag.String("metrics-out", "", "write a JSON telemetry report to this file")
 		sampleEvery = flag.Uint64("sample-every", 0, "sample the metric registry every N simulated cycles (requires -metrics-out)")
 	)
@@ -89,6 +116,9 @@ func main() {
 	if *traceN < 0 {
 		usageErr("-trace must be non-negative")
 	}
+	if *jobs < 0 {
+		usageErr("-jobs must be >= 0 (0 = GOMAXPROCS)")
+	}
 	if *sampleEvery > 0 && *metricsOut == "" {
 		usageErr("-sample-every requires -metrics-out (the time series is only emitted in the report)")
 	}
@@ -97,6 +127,21 @@ func main() {
 			usageErr("-failseed has no effect without -failnth")
 		}
 	})
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fail(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 
 	var rep *telemetry.Report
 	if *metricsOut != "" {
@@ -115,14 +160,12 @@ func main() {
 		})
 	}
 
-	auditFailed := false
-	t := metrics.NewTable(fmt.Sprintf("%s: %d cores x %d containers, scale %.2f", *app, *cores, *containers, *scale),
-		"arch", "meanLat", "p95Lat", "mpkiD", "mpkiI", "sharedD", "sharedI", "faults", "minor", "cow")
-	for _, ar := range archs {
+	runArch := func(res *archResult, ar babelfish.Arch) {
 		name := "baseline"
 		if ar == babelfish.ArchBabelFish {
 			name = "babelfish"
 		}
+		res.name = name
 		m := babelfish.NewMachine(babelfish.Options{Arch: ar, Cores: *cores})
 		if *traceN > 0 {
 			m.EnableTracing(*traceN)
@@ -132,12 +175,14 @@ func main() {
 		}
 		d, err := babelfish.DeployApp(m, a, *scale, *seed)
 		if err != nil {
-			fatal(err)
+			res.err = err
+			return
 		}
 		for c := 0; c < *cores; c++ {
 			for j := 0; j < *containers; j++ {
 				if _, _, err := d.Spawn(c, *seed+uint64(c*131+j)); err != nil {
-					fatal(err)
+					res.err = err
+					return
 				}
 			}
 		}
@@ -148,57 +193,107 @@ func main() {
 		}
 		if err := d.PrefaultAll(); err != nil {
 			if *failNth == 0 || !errors.Is(err, physmem.ErrOutOfMemory) {
-				fatal(err)
+				res.err = err
+				return
 			}
 		}
 		if err := m.Run(*warm); err != nil {
-			fatal(err)
+			res.err = err
+			return
 		}
 		m.ResetStats()
 		if err := m.Run(*measure); err != nil {
-			fatal(err)
+			res.err = err
+			return
 		}
 		m.Mem.SetInjector(nil)
 		ag := m.Aggregate()
 		ks := m.Kernel.Stats()
-		t.Row(name, d.MeanLatency(), d.TailLatency(95), ag.MPKIData(), ag.MPKIInstr(),
-			ag.SharedHitFracD(), ag.SharedHitFracI(), ag.Faults, ks.MinorFaults, ks.CoWFaults)
+		res.row = []interface{}{name, d.MeanLatency(), d.TailLatency(95), ag.MPKIData(), ag.MPKIInstr(),
+			ag.SharedHitFracD(), ag.SharedHitFracI(), ag.Faults, ks.MinorFaults, ks.CoWFaults}
 		if c := m.Counters(); c.Any() || *audit {
-			fmt.Printf("%s robustness: %s\n", name, c)
+			fmt.Fprintf(&res.out, "%s robustness: %s\n", name, c)
 		}
 		if *audit {
 			krep := m.Kernel.Audit()
 			mrep := m.Mem.Audit()
-			fmt.Printf("%s %s\n%s physmem audit: %s\n", name, krep, name, mrep)
-			if !krep.OK() || !mrep.OK() {
-				auditFailed = true
+			trep := m.AuditTLBs()
+			fmt.Fprintf(&res.out, "%s %s\n%s physmem audit: %s\n", name, krep, name, mrep)
+			fmt.Fprintf(&res.out, "%s TLB audit: %d entries cross-checked, %d violations\n",
+				name, trep.TLBEntriesChecked, len(trep.Violations))
+			for _, v := range trep.Violations {
+				fmt.Fprintf(&res.out, "  - %s\n", v)
+			}
+			if !krep.OK() || !mrep.OK() || !trep.OK() {
+				res.auditFailed = true
 			}
 		}
 		if m.Tracer != nil {
-			fmt.Printf("--- %s: last %d translation events ---\n", name, *traceN)
-			m.Tracer.Dump(os.Stdout, *traceN)
-			fmt.Print(m.Tracer.Summarize())
+			fmt.Fprintf(&res.out, "--- %s: last %d translation events ---\n", name, *traceN)
+			m.Tracer.Dump(&res.out, *traceN)
+			fmt.Fprint(&res.out, m.Tracer.Summarize())
 		}
 		if rep != nil {
-			rep.AddArch(m.TelemetryReport(name))
+			res.tel = m.TelemetryReport(name)
 		}
+	}
+
+	// Each architecture run owns its machine; runs only share the
+	// seed-keyed workload graph cache and atomic bug counters, so they can
+	// execute concurrently and still be deterministic.
+	width := *jobs
+	if width <= 0 {
+		width = runtime.GOMAXPROCS(0)
+	}
+	results := make([]archResult, len(archs))
+	sem := make(chan struct{}, width)
+	var wg sync.WaitGroup
+	for i := range archs {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			runArch(&results[i], archs[i])
+		}(i)
+	}
+	wg.Wait()
+
+	auditFailed := false
+	t := metrics.NewTable(fmt.Sprintf("%s: %d cores x %d containers, scale %.2f", *app, *cores, *containers, *scale),
+		"arch", "meanLat", "p95Lat", "mpkiD", "mpkiI", "sharedD", "sharedI", "faults", "minor", "cow")
+	for i := range results {
+		res := &results[i]
+		if res.err != nil {
+			return fail(res.err)
+		}
+		os.Stdout.Write(res.out.Bytes())
+		t.Row(res.row...)
+		if rep != nil {
+			rep.AddArch(res.tel)
+		}
+		auditFailed = auditFailed || res.auditFailed
 	}
 	fmt.Println(t)
 	if rep != nil {
 		if err := rep.WriteFile(*metricsOut); err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		fmt.Printf("telemetry report (schema v%d) written to %s\n", telemetry.SchemaVersion, *metricsOut)
 	}
 	if auditFailed {
 		fmt.Fprintln(os.Stderr, "bfsim: audit found invariant violations")
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
-func fatal(err error) {
+// fail reports a runtime error and selects the non-zero exit status; the
+// caller returns it from run so deferred cleanup (the CPU profile) still
+// flushes.
+func fail(err error) int {
 	fmt.Fprintln(os.Stderr, "bfsim:", err)
-	os.Exit(1)
+	return 1
 }
 
 // usageErr reports a flag mistake with the full usage text and exits

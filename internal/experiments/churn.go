@@ -73,11 +73,18 @@ func Churn(o Options, waves int) (*ChurnResult, error) {
 		return cycles, ag.Faults, m.Mem.PeakAllocated(), tables, forkCyc, nil
 	}
 
-	var err error
-	if res.BaseCycles, res.BaseFaults, res.BasePeakMem, res.BaseTables, res.BaseForkCyc, err = run(Baseline); err != nil {
-		return nil, err
-	}
-	if res.BFCycles, res.BFFaults, res.BFPeakMem, res.BFTables, res.BFForkCyc, err = run(BabelFish); err != nil {
+	var pl plan
+	pl.add("churn/Baseline", func() error {
+		var err error
+		res.BaseCycles, res.BaseFaults, res.BasePeakMem, res.BaseTables, res.BaseForkCyc, err = run(Baseline)
+		return err
+	})
+	pl.add("churn/BabelFish", func() error {
+		var err error
+		res.BFCycles, res.BFFaults, res.BFPeakMem, res.BFTables, res.BFForkCyc, err = run(BabelFish)
+		return err
+	})
+	if err := pl.execute(o.Jobs); err != nil {
 		return nil, err
 	}
 	res.RedPct = metrics.ReductionPct(res.BaseCycles, res.BFCycles)

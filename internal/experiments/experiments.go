@@ -34,6 +34,11 @@ type Options struct {
 	// cache contention — which decides how often page walks reach DRAM —
 	// keeps the paper's data:cache proportions.
 	L3Bytes int
+	// Jobs bounds the experiment engine's worker pool: each figure/sweep
+	// runs its independent cells on up to Jobs workers (see plan.go).
+	// 0 means GOMAXPROCS; 1 forces serial execution. Results are
+	// byte-identical at any width, so Jobs is excluded from JSON reports.
+	Jobs int `json:"-"`
 }
 
 // Default returns the standard experiment options.

@@ -182,7 +182,7 @@ func TestFullScale(t *testing.T) {
 // A pays the full walk+fault, B walks without faulting (shared page
 // tables), C hits the TLB entry A brought in.
 func TestFig7Timeline(t *testing.T) {
-	r, err := Fig7()
+	r, err := Fig7(Quick())
 	if err != nil {
 		t.Fatal(err)
 	}

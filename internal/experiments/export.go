@@ -98,7 +98,7 @@ func (r *Fig11Result) AttributionRows() []TableIIRow {
 func RunAll(o Options) (*Report, error) {
 	rep := &Report{Options: o}
 	var err error
-	if rep.Fig7, err = Fig7(); err != nil {
+	if rep.Fig7, err = Fig7(o); err != nil {
 		return nil, fmt.Errorf("fig7: %w", err)
 	}
 	if rep.Fig9, err = Fig9(o); err != nil {

@@ -31,57 +31,77 @@ type Fig10Result struct {
 // Fig10 runs every workload under Baseline and BabelFish and reports L2
 // TLB MPKI reductions and shared-hit fractions.
 func Fig10(o Options) (*Fig10Result, error) {
-	res := &Fig10Result{}
-	for _, spec := range append(ServingApps(), ComputeApps()...) {
-		mBase, _, err := deployServing(o, Baseline, spec)
-		if err != nil {
-			return nil, err
-		}
-		mBF, _, err := deployServing(o, BabelFish, spec)
-		if err != nil {
-			return nil, err
-		}
-		ab, af := mBase.Aggregate(), mBF.Aggregate()
-		res.Rows = append(res.Rows, fig10Row(spec.Name, spec.Class.String(), ab, af))
+	specs := append(ServingApps(), ComputeApps()...)
+	// One cell per (app × arch); the last pair is the dense function
+	// variant (the MPKI behaviour is dominated by the shared runtime; the
+	// paper reports smaller function reductions).
+	type pair struct{ base, bf sim.AggStats }
+	pairs := make([]pair, len(specs)+1)
+	var pl plan
+	for i, spec := range specs {
+		i, spec := i, spec
+		pl.add("fig10/"+spec.Name+"/base", func() error {
+			m, _, err := deployServing(o, Baseline, spec)
+			if err != nil {
+				return err
+			}
+			pairs[i].base = m.Aggregate()
+			return nil
+		})
+		pl.add("fig10/"+spec.Name+"/babelfish", func() error {
+			m, _, err := deployServing(o, BabelFish, spec)
+			if err != nil {
+				return err
+			}
+			pairs[i].bf = m.Aggregate()
+			return nil
+		})
 	}
-	// Functions: dense variant (the MPKI behaviour is dominated by the
-	// shared runtime; the paper reports smaller function reductions).
-	ab, af, err := fig10Functions(o)
-	if err != nil {
+	fi := len(specs)
+	pl.add("fig10/functions/base", func() error {
+		ag, err := fig10FunctionsRun(o, Baseline)
+		if err != nil {
+			return err
+		}
+		pairs[fi].base = ag
+		return nil
+	})
+	pl.add("fig10/functions/babelfish", func() error {
+		ag, err := fig10FunctionsRun(o, BabelFish)
+		if err != nil {
+			return err
+		}
+		pairs[fi].bf = ag
+		return nil
+	})
+	if err := pl.execute(o.Jobs); err != nil {
 		return nil, err
 	}
-	res.Rows = append(res.Rows, fig10Row("functions", "function", ab, af))
+	res := &Fig10Result{}
+	for i, spec := range specs {
+		res.Rows = append(res.Rows, fig10Row(spec.Name, spec.Class.String(), pairs[i].base, pairs[i].bf))
+	}
+	res.Rows = append(res.Rows, fig10Row("functions", "function", pairs[fi].base, pairs[fi].bf))
 	return res, nil
 }
 
-func fig10Functions(o Options) (sim.AggStats, sim.AggStats, error) {
-	run := func(a Arch) (sim.AggStats, error) {
-		m := sim.New(o.Params(a))
-		fg, err := workloads.DeployFaaS(m, false, o.Scale, o.Seed)
-		if err != nil {
-			return sim.AggStats{}, err
-		}
-		for core := 0; core < o.Cores; core++ {
-			for i, name := range fg.FunctionNames() {
-				if _, _, err := fg.Spawn(name, core, o.Seed+uint64(core*97+i)); err != nil {
-					return sim.AggStats{}, err
-				}
+func fig10FunctionsRun(o Options, a Arch) (sim.AggStats, error) {
+	m := sim.New(o.Params(a))
+	fg, err := workloads.DeployFaaS(m, false, o.Scale, o.Seed)
+	if err != nil {
+		return sim.AggStats{}, err
+	}
+	for core := 0; core < o.Cores; core++ {
+		for i, name := range fg.FunctionNames() {
+			if _, _, err := fg.Spawn(name, core, o.Seed+uint64(core*97+i)); err != nil {
+				return sim.AggStats{}, err
 			}
 		}
-		if err := m.RunToCompletion(); err != nil {
-			return sim.AggStats{}, err
-		}
-		return m.Aggregate(), nil
 	}
-	ab, err := run(Baseline)
-	if err != nil {
-		return sim.AggStats{}, sim.AggStats{}, err
+	if err := m.RunToCompletion(); err != nil {
+		return sim.AggStats{}, err
 	}
-	af, err := run(BabelFish)
-	if err != nil {
-		return sim.AggStats{}, sim.AggStats{}, err
-	}
-	return ab, af, nil
+	return m.Aggregate(), nil
 }
 
 func fig10Row(name, class string, ab, af sim.AggStats) Fig10Row {

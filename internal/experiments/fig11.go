@@ -53,167 +53,178 @@ type Fig11Result struct {
 	BringupNote string
 }
 
-// Fig11 runs everything. This is the heaviest experiment: every workload
-// under Baseline, BabelFish-PTonly and full BabelFish.
-func Fig11(o Options) (*Fig11Result, error) {
-	res := &Fig11Result{}
+// fig11Archs is the three-way comparison every Fig11 workload runs; the
+// index matches triple's Base/PTOnly/Full fields via triple.set.
+var fig11Archs = [3]Arch{Baseline, BabelFishPT, BabelFish}
 
-	for _, spec := range ServingApps() {
-		mean, tail, err := servingTriple(o, spec)
-		if err != nil {
-			return nil, err
-		}
+// set stores a value into the field matching fig11Archs[i]. Distinct i
+// address distinct fields, so three cells may fill one triple in
+// parallel.
+func (t *triple) set(i int, v float64) {
+	switch i {
+	case 0:
+		t.Base = v
+	case 1:
+		t.PTOnly = v
+	case 2:
+		t.Full = v
+	}
+}
+
+// Fig11 runs everything. This is the heaviest experiment — every workload
+// under Baseline, BabelFish-PTonly and full BabelFish — so it decomposes
+// into one cell per (workload × architecture) measurement.
+func Fig11(o Options) (*Fig11Result, error) {
+	serving := ServingApps()
+	compute := ComputeApps()
+	res := &Fig11Result{
+		ServingMean: make([]triple, len(serving)),
+		ServingTail: make([]triple, len(serving)),
+		ComputeExec: make([]triple, len(compute)),
+	}
+	for _, spec := range serving {
 		res.ServingApps = append(res.ServingApps, spec.Name)
-		res.ServingMean = append(res.ServingMean, mean)
-		res.ServingTail = append(res.ServingTail, tail)
 	}
-	for _, spec := range ComputeApps() {
-		exec, err := computeTriple(o, spec)
-		if err != nil {
-			return nil, err
-		}
+	for _, spec := range compute {
 		res.ComputeApps = append(res.ComputeApps, spec.Name)
-		res.ComputeExec = append(res.ComputeExec, exec)
 	}
-	for _, sparse := range []bool{false, true} {
-		names, ts, err := functionTriples(o, sparse)
-		if err != nil {
-			return nil, err
+
+	var pl plan
+	for i, spec := range serving {
+		for ai, a := range fig11Archs {
+			i, ai, a, spec := i, ai, a, spec
+			pl.add("fig11/"+spec.Name+"/"+a.String(), func() error {
+				_, d, err := deployServing(o, a, spec)
+				if err != nil {
+					return err
+				}
+				res.ServingMean[i].set(ai, d.MeanLatency())
+				res.ServingTail[i].set(ai, d.TailLatency(95))
+				return nil
+			})
 		}
-		if res.FuncNames == nil {
-			res.FuncNames = names
+	}
+	for i, spec := range compute {
+		for ai, a := range fig11Archs {
+			i, ai, a, spec := i, ai, a, spec
+			pl.add("fig11/"+spec.Name+"/"+a.String(), func() error {
+				_, d, err := deployServing(o, a, spec)
+				if err != nil {
+					return err
+				}
+				res.ComputeExec[i].set(ai, d.MeanExecOwn())
+				return nil
+			})
 		}
-		if sparse {
-			res.SparseExec = ts
-		} else {
+	}
+	// Functions: one cell per (variant × architecture); triples are
+	// assembled from the per-arch sums once all runs are in.
+	var funcRuns [2][3]funcArchRun
+	for vi, sparse := range []bool{false, true} {
+		for ai, a := range fig11Archs {
+			vi, ai, a, sparse := vi, ai, a, sparse
+			variant := "dense"
+			if sparse {
+				variant = "sparse"
+			}
+			pl.add("fig11/functions-"+variant+"/"+a.String(), func() error {
+				pa, err := functionRun(o, sparse, a)
+				if err != nil {
+					return err
+				}
+				funcRuns[vi][ai] = pa
+				return nil
+			})
+		}
+	}
+	if err := pl.execute(o.Jobs); err != nil {
+		return nil, err
+	}
+
+	res.FuncNames = funcRuns[0][0].names
+	for vi := range funcRuns {
+		ts := make([]triple, 0, len(res.FuncNames))
+		for _, n := range res.FuncNames {
+			var t triple
+			for ai := range funcRuns[vi] {
+				t.set(ai, funcRuns[vi][ai].avg(n))
+			}
+			ts = append(ts, t)
+		}
+		if vi == 0 {
 			res.DenseExec = ts
+		} else {
+			res.SparseExec = ts
 		}
 	}
 	return res, nil
 }
 
-// servingTriple measures one app's mean (and p95) request latency under
-// the three architectures.
-func servingTriple(o Options, spec *workloads.AppSpec) (mean, tail triple, err error) {
-	for i, a := range []Arch{Baseline, BabelFishPT, BabelFish} {
-		_, d, e := deployServing(o, a, spec)
-		if e != nil {
-			return mean, tail, e
-		}
-		mv, tv := d.MeanLatency(), d.TailLatency(95)
-		switch i {
-		case 0:
-			mean.Base, tail.Base = mv, tv
-		case 1:
-			mean.PTOnly, tail.PTOnly = mv, tv
-		case 2:
-			mean.Full, tail.Full = mv, tv
-		}
-	}
-	return mean, tail, nil
+// funcArchRun is one (variant × architecture) function measurement: the
+// per-function sums/counts of the measured wave.
+type funcArchRun struct {
+	names  []string
+	sums   map[string]float64
+	counts map[string]int
 }
 
-// computeTriple measures a compute app's per-operation execution time in
-// task-own cycles under the three architectures.
-func computeTriple(o Options, spec *workloads.AppSpec) (exec triple, err error) {
-	for i, a := range []Arch{Baseline, BabelFishPT, BabelFish} {
-		_, d, e := deployServing(o, a, spec)
-		if e != nil {
-			return exec, e
-		}
-		v := d.MeanExecOwn()
-		switch i {
-		case 0:
-			exec.Base = v
-		case 1:
-			exec.PTOnly = v
-		case 2:
-			exec.Full = v
-		}
+func (pa funcArchRun) avg(name string) float64 {
+	if pa.counts[name] == 0 {
+		return 0
 	}
-	return exec, nil
+	return pa.sums[name] / float64(pa.counts[name])
 }
 
-// functionTriples measures per-function completion time with the paper's
+// functionRun measures per-function completion time with the paper's
 // exclusion of cold-start effects: a leading group of three containers
 // (one per function) runs to completion first and is not measured — "the
 // leading function behaves similarly in both BabelFish and Baseline due
 // to cold start effects" — then the measured wave runs, one container of
 // each function per core.
-func functionTriples(o Options, sparse bool) ([]string, []triple, error) {
-	type perArch struct {
-		sums   map[string]float64
-		counts map[string]int
-	}
-	run := func(a Arch) (perArch, []string, error) {
-		pa := perArch{sums: map[string]float64{}, counts: map[string]int{}}
-		m := sim.New(o.Params(a))
-		fg, err := workloads.DeployFaaS(m, sparse, o.Scale, o.Seed)
-		if err != nil {
-			return pa, nil, err
-		}
-		names := fg.FunctionNames()
-		// Leading wave (excluded from measurement).
-		for j, name := range names {
-			if _, _, err := fg.Spawn(name, j%o.Cores, o.Seed+uint64(j)); err != nil {
-				return pa, nil, err
-			}
-		}
-		if err := m.RunToCompletion(); err != nil {
-			return pa, nil, err
-		}
-		// Measured wave.
-		type sched struct {
-			task *sim.Task
-			name string
-		}
-		var scheds []sched
-		for core := 0; core < o.Cores; core++ {
-			for j, name := range names {
-				task, _, err := fg.Spawn(name, core, o.Seed+uint64(1000+core*97+j))
-				if err != nil {
-					return pa, nil, err
-				}
-				scheds = append(scheds, sched{task: task, name: name})
-			}
-		}
-		if err := m.RunToCompletion(); err != nil {
-			return pa, nil, err
-		}
-		for _, s := range scheds {
-			// Use the task's own cycles: three functions multiplex one
-			// core, so wall-clock would triple-count the others' slices.
-			if s.task.LatOwn.Count() > 0 {
-				pa.sums[s.name] += s.task.LatOwn.Mean()
-				pa.counts[s.name]++
-			}
-		}
-		return pa, names, nil
-	}
-
-	base, names, err := run(Baseline)
+func functionRun(o Options, sparse bool, a Arch) (funcArchRun, error) {
+	pa := funcArchRun{sums: map[string]float64{}, counts: map[string]int{}}
+	m := sim.New(o.Params(a))
+	fg, err := workloads.DeployFaaS(m, sparse, o.Scale, o.Seed)
 	if err != nil {
-		return nil, nil, err
+		return pa, err
 	}
-	pt, _, err := run(BabelFishPT)
-	if err != nil {
-		return nil, nil, err
-	}
-	full, _, err := run(BabelFish)
-	if err != nil {
-		return nil, nil, err
-	}
-	var out []triple
-	for _, n := range names {
-		avg := func(pa perArch) float64 {
-			if pa.counts[n] == 0 {
-				return 0
-			}
-			return pa.sums[n] / float64(pa.counts[n])
+	pa.names = fg.FunctionNames()
+	// Leading wave (excluded from measurement).
+	for j, name := range pa.names {
+		if _, _, err := fg.Spawn(name, j%o.Cores, o.Seed+uint64(j)); err != nil {
+			return pa, err
 		}
-		out = append(out, triple{Base: avg(base), PTOnly: avg(pt), Full: avg(full)})
 	}
-	return names, out, nil
+	if err := m.RunToCompletion(); err != nil {
+		return pa, err
+	}
+	// Measured wave.
+	type sched struct {
+		task *sim.Task
+		name string
+	}
+	scheds := make([]sched, 0, o.Cores*len(pa.names))
+	for core := 0; core < o.Cores; core++ {
+		for j, name := range pa.names {
+			task, _, err := fg.Spawn(name, core, o.Seed+uint64(1000+core*97+j))
+			if err != nil {
+				return pa, err
+			}
+			scheds = append(scheds, sched{task: task, name: name})
+		}
+	}
+	if err := m.RunToCompletion(); err != nil {
+		return pa, err
+	}
+	for _, s := range scheds {
+		// Use the task's own cycles: three functions multiplex one
+		// core, so wall-clock would triple-count the others' slices.
+		if s.task.LatOwn.Count() > 0 {
+			pa.sums[s.name] += s.task.LatOwn.Mean()
+			pa.counts[s.name]++
+		}
+	}
+	return pa, nil
 }
 
 // MeanServingReduction averages the mean-latency reductions (paper: 11%).

@@ -34,72 +34,93 @@ type Fig7Result struct {
 	Delta *telemetry.DiffResult `json:"delta,omitempty"`
 }
 
-// Fig7 runs the example.
-func Fig7() (*Fig7Result, error) {
+// Fig7 runs the example: one cell per architecture (the example's scale
+// is fixed by the paper, so only o.Jobs is consulted).
+func Fig7(o Options) (*Fig7Result, error) {
 	res := &Fig7Result{}
 	var snaps [2]*telemetry.Snapshot
+	var pl plan
 	for i, mode := range []kernel.Mode{kernel.ModeBaseline, kernel.ModeBabelFish} {
-		p := sim.DefaultParams(mode)
-		p.Cores = 2
-		p.MemBytes = 256 << 20
-		m := sim.New(p)
-		k := m.Kernel
-		g := k.NewGroup("fig7", 7)
-		tmpl, err := k.CreateProcess(g, "tmpl")
-		if err != nil {
-			return nil, err
-		}
-		// One shared file page: VPN0. PPN0 is in memory (page cache) but
-		// not yet marked present in any container's pte_t, exactly the
-		// paper's setup.
-		f, err := k.CreateFile("fig7/file", 8)
-		if err != nil {
-			return nil, err
-		}
-		r, err := g.Region("file", kernel.SegMmap, 8)
-		if err != nil {
-			return nil, err
-		}
-		if _, err := tmpl.MapFile(r, f, 0, memdefs.PermRead|memdefs.PermUser, true, "file"); err != nil {
-			return nil, err
-		}
-		if err := f.Prefault(); err != nil {
-			return nil, err
-		}
-
-		names := []string{"A", "B", "C"}
-		cores := []int{0, 1, 0}
-		var steps [3]Fig7Step
-		for j := 0; j < 3; j++ {
-			c, _, err := k.Fork(tmpl, names[j])
+		i, mode := i, mode
+		pl.add("fig7/"+mode.String(), func() error {
+			steps, snap, err := fig7Mode(mode)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			ctx := &mmu.Ctx{
-				PID: c.PID, PCID: c.PCID, CCID: c.CCID, Tables: c.Tables,
-				SharedVA: c.SharedVAFunc(), PCBit: c.PCBitFunc(), PCMask: c.PCMaskFunc(),
+			if i == 0 {
+				res.Conventional = steps
+			} else {
+				res.BabelFish = steps
 			}
-			va := c.ProcVA(r.Start)
-			core := m.Cores[cores[j]]
-			_, cyc, info, err := core.MMU.Translate(ctx, va, false, memdefs.AccessData)
-			if err != nil {
-				return nil, err
-			}
-			steps[j] = Fig7Step{
-				Container: names[j], Core: cores[j], Level: info.Level,
-				Faults: info.Faults, WalkMem: info.WalkMemAcc, Cycles: cyc,
-			}
-		}
-		if i == 0 {
-			res.Conventional = steps
-			snaps[0] = m.Registry.Snapshot("conventional")
-		} else {
-			res.BabelFish = steps
-			snaps[1] = m.Registry.Snapshot("babelfish")
-		}
+			snaps[i] = snap
+			return nil
+		})
+	}
+	if err := pl.execute(o.Jobs); err != nil {
+		return nil, err
 	}
 	res.Delta = telemetry.Diff(snaps[0], snaps[1])
 	return res, nil
+}
+
+// fig7Mode runs the three-container timeline on one fresh machine.
+func fig7Mode(mode kernel.Mode) ([3]Fig7Step, *telemetry.Snapshot, error) {
+	var steps [3]Fig7Step
+	p := sim.DefaultParams(mode)
+	p.Cores = 2
+	p.MemBytes = 256 << 20
+	m := sim.New(p)
+	k := m.Kernel
+	g := k.NewGroup("fig7", 7)
+	tmpl, err := k.CreateProcess(g, "tmpl")
+	if err != nil {
+		return steps, nil, err
+	}
+	// One shared file page: VPN0. PPN0 is in memory (page cache) but
+	// not yet marked present in any container's pte_t, exactly the
+	// paper's setup.
+	f, err := k.CreateFile("fig7/file", 8)
+	if err != nil {
+		return steps, nil, err
+	}
+	r, err := g.Region("file", kernel.SegMmap, 8)
+	if err != nil {
+		return steps, nil, err
+	}
+	if _, err := tmpl.MapFile(r, f, 0, memdefs.PermRead|memdefs.PermUser, true, "file"); err != nil {
+		return steps, nil, err
+	}
+	if err := f.Prefault(); err != nil {
+		return steps, nil, err
+	}
+
+	names := []string{"A", "B", "C"}
+	cores := []int{0, 1, 0}
+	for j := 0; j < 3; j++ {
+		c, _, err := k.Fork(tmpl, names[j])
+		if err != nil {
+			return steps, nil, err
+		}
+		ctx := &mmu.Ctx{
+			PID: c.PID, PCID: c.PCID, CCID: c.CCID, Tables: c.Tables,
+			SharedVA: c.SharedVAFunc(), PCBit: c.PCBitFunc(), PCMask: c.PCMaskFunc(),
+		}
+		va := c.ProcVA(r.Start)
+		core := m.Cores[cores[j]]
+		_, cyc, info, err := core.MMU.Translate(ctx, va, false, memdefs.AccessData)
+		if err != nil {
+			return steps, nil, err
+		}
+		steps[j] = Fig7Step{
+			Container: names[j], Core: cores[j], Level: info.Level,
+			Faults: info.Faults, WalkMem: info.WalkMemAcc, Cycles: cyc,
+		}
+	}
+	label := "conventional"
+	if mode == kernel.ModeBabelFish {
+		label = "babelfish"
+	}
+	return steps, m.Registry.Snapshot(label), nil
 }
 
 // String renders the two timelines.

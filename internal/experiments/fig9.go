@@ -46,21 +46,33 @@ type Fig9Result struct {
 // all on a baseline kernel (the paper measured natively with Pagemap),
 // with an Accessed-bit epoch standing in for the active-LRU census.
 func Fig9(o Options) (*Fig9Result, error) {
-	res := &Fig9Result{}
-
 	apps := append(ServingApps(), ComputeApps()...)
-	for _, spec := range apps {
-		row, err := fig9App(o, spec)
-		if err != nil {
-			return nil, err
-		}
-		res.Rows = append(res.Rows, row)
+	rows := make([]Fig9Row, len(apps)+1)
+	var pl plan
+	for i, spec := range apps {
+		i, spec := i, spec
+		pl.add("fig9/"+spec.Name, func() error {
+			row, err := fig9App(o, spec)
+			if err != nil {
+				return err
+			}
+			rows[i] = row
+			return nil
+		})
 	}
-	fn, err := fig9Functions(o)
-	if err != nil {
+	pl.add("fig9/functions", func() error {
+		row, err := fig9Functions(o)
+		if err != nil {
+			return err
+		}
+		rows[len(apps)] = row
+		return nil
+	})
+	if err := pl.execute(o.Jobs); err != nil {
 		return nil, err
 	}
-	res.Rows = append(res.Rows, fn)
+	res := &Fig9Result{Rows: rows}
+	fn := rows[len(apps)]
 
 	var cSh, cRed float64
 	for _, r := range res.Rows[:len(res.Rows)-1] {

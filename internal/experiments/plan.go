@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// The parallel experiment engine.
+//
+// Every figure/sweep decomposes into a plan of independent cells. A cell
+// is one (architecture × app × config) measurement: it builds its own
+// sim.Machine — with its own physmem, kernel, cores and deployment — runs
+// deploy → warm → measure, and stores its row into a result slot that
+// only it writes. Because cells share no mutable state (the only
+// process-wide structures they touch are the seed-keyed workload graph
+// cache, a sync.Map whose values are deterministic functions of their
+// key, and the atomic kernel/physmem bug counters), they can execute in
+// any order on any number of workers and still produce results that are
+// byte-identical to a serial run: all randomness is seeded per cell from
+// Options.Seed, and the plan assembles results in declaration order, not
+// completion order.
+
+// cell is one independent unit of work in a plan.
+type cell struct {
+	label string
+	run   func() error
+}
+
+// plan is an ordered list of cells plus the bounded executor.
+type plan struct {
+	cells []cell
+}
+
+// add appends a cell. The closure must write its result only into slots
+// it owns (typically one index of a slice sized up front).
+func (p *plan) add(label string, run func() error) {
+	p.cells = append(p.cells, cell{label: label, run: run})
+}
+
+// execute runs the cells on a worker pool of the given width. jobs <= 0
+// means GOMAXPROCS. The serial path (jobs == 1) aborts at the first
+// failing cell; the parallel path runs every cell and then reports the
+// failure of the lowest-indexed failing cell, so the returned error is
+// deterministic regardless of scheduling.
+func (p *plan) execute(jobs int) error {
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs == 1 || len(p.cells) <= 1 {
+		for i := range p.cells {
+			if err := p.cells[i].run(); err != nil {
+				return fmt.Errorf("%s: %w", p.cells[i].label, err)
+			}
+		}
+		return nil
+	}
+	errs := make([]error, len(p.cells))
+	sem := make(chan struct{}, jobs)
+	var wg sync.WaitGroup
+	for i := range p.cells {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[i] = p.cells[i].run()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("%s: %w", p.cells[i].label, err)
+		}
+	}
+	return nil
+}

@@ -32,6 +32,36 @@ func (r *SweepResult) String() string {
 	return t.String()
 }
 
+// mongoLatency deploys MongoDB with perCore containers on each core under
+// the given machine parameters, runs warm-up + measurement, and returns
+// the mean request latency. It is the common body of the sensitivity
+// sweeps, each of which runs it as an independent plan cell.
+func mongoLatency(o Options, p sim.Params, perCore int) (float64, error) {
+	m := sim.New(p)
+	d, err := workloads.Deploy(m, workloads.MongoDB(), o.Scale, o.Seed)
+	if err != nil {
+		return 0, err
+	}
+	for core := 0; core < o.Cores; core++ {
+		for j := 0; j < perCore; j++ {
+			if _, _, err := d.Spawn(core, o.Seed+uint64(core*97+j)); err != nil {
+				return 0, err
+			}
+		}
+	}
+	if err := d.PrefaultAll(); err != nil {
+		return 0, err
+	}
+	if err := m.Run(o.WarmInstr); err != nil {
+		return 0, err
+	}
+	m.ResetStats()
+	if err := m.Run(o.MeasureInstr); err != nil {
+		return 0, err
+	}
+	return d.MeanLatency(), nil
+}
+
 // SweepColocation varies the number of containers per core (the paper
 // argues its 2-3 per core is conservative — container environments are
 // typically oversubscribed — so BabelFish's gains grow with density).
@@ -45,36 +75,28 @@ func SweepColocation(o Options, perCore []int) (*SweepResult, error) {
 		MetricID: "mean-lat",
 		Points:   perCore,
 	}
-	for _, n := range perCore {
-		var vals [2]float64
-		for i, a := range []Arch{Baseline, BabelFish} {
-			m := sim.New(o.Params(a))
-			d, err := workloads.Deploy(m, workloads.MongoDB(), o.Scale, o.Seed)
-			if err != nil {
-				return nil, err
-			}
-			for core := 0; core < o.Cores; core++ {
-				for j := 0; j < n; j++ {
-					if _, _, err := d.Spawn(core, o.Seed+uint64(core*97+j)); err != nil {
-						return nil, err
-					}
+	vals := make([][2]float64, len(perCore))
+	var pl plan
+	for pi, n := range perCore {
+		for ai, a := range [2]Arch{Baseline, BabelFish} {
+			pi, ai, a, n := pi, ai, a, n
+			pl.add(fmt.Sprintf("colocation/%d/%s", n, a), func() error {
+				v, err := mongoLatency(o, o.Params(a), n)
+				if err != nil {
+					return err
 				}
-			}
-			if err := d.PrefaultAll(); err != nil {
-				return nil, err
-			}
-			if err := m.Run(o.WarmInstr); err != nil {
-				return nil, err
-			}
-			m.ResetStats()
-			if err := m.Run(o.MeasureInstr); err != nil {
-				return nil, err
-			}
-			vals[i] = d.MeanLatency()
+				vals[pi][ai] = v
+				return nil
+			})
 		}
-		res.Base = append(res.Base, vals[0])
-		res.BF = append(res.BF, vals[1])
-		res.RedPct = append(res.RedPct, metrics.ReductionPct(vals[0], vals[1]))
+	}
+	if err := pl.execute(o.Jobs); err != nil {
+		return nil, err
+	}
+	for _, v := range vals {
+		res.Base = append(res.Base, v[0])
+		res.BF = append(res.BF, v[1])
+		res.RedPct = append(res.RedPct, metrics.ReductionPct(v[0], v[1]))
 	}
 	return res, nil
 }
@@ -92,38 +114,59 @@ func SweepGroupSize(o Options, sizes []int) (*SweepResult, error) {
 		MetricID: "sum-exec-cycles",
 		Points:   sizes,
 	}
-	for _, n := range sizes {
-		var vals [2]float64
-		for i, a := range []Arch{Baseline, BabelFish} {
-			oo := o
-			oo.Cores = 1
-			m := sim.New(oo.Params(a))
-			fg, err := workloads.DeployFaaS(m, true, o.Scale, o.Seed)
-			if err != nil {
-				return nil, err
-			}
-			names := fg.FunctionNames()
-			for j := 0; j < n; j++ {
-				if _, _, err := fg.Spawn(names[j%len(names)], 0, o.Seed+uint64(j)); err != nil {
-					return nil, err
+	vals := make([][2]float64, len(sizes))
+	var pl plan
+	for pi, n := range sizes {
+		for ai, a := range [2]Arch{Baseline, BabelFish} {
+			pi, ai, a, n := pi, ai, a, n
+			pl.add(fmt.Sprintf("group-size/%d/%s", n, a), func() error {
+				v, err := groupSizeRun(o, a, n)
+				if err != nil {
+					return err
 				}
-			}
-			if err := m.RunToCompletion(); err != nil {
-				return nil, err
-			}
-			var sum float64
-			for _, task := range fg.Tasks {
-				if task.LatOwn.Count() > 0 {
-					sum += task.LatOwn.Mean()
-				}
-			}
-			vals[i] = sum
+				vals[pi][ai] = v
+				return nil
+			})
 		}
-		res.Base = append(res.Base, vals[0])
-		res.BF = append(res.BF, vals[1])
-		res.RedPct = append(res.RedPct, metrics.ReductionPct(vals[0], vals[1]))
+	}
+	if err := pl.execute(o.Jobs); err != nil {
+		return nil, err
+	}
+	for _, v := range vals {
+		res.Base = append(res.Base, v[0])
+		res.BF = append(res.BF, v[1])
+		res.RedPct = append(res.RedPct, metrics.ReductionPct(v[0], v[1]))
 	}
 	return res, nil
+}
+
+// groupSizeRun measures one (size × arch) point of SweepGroupSize: n
+// function containers sharing one sparse runtime on one core, summed
+// own-cycles.
+func groupSizeRun(o Options, a Arch, n int) (float64, error) {
+	oo := o
+	oo.Cores = 1
+	m := sim.New(oo.Params(a))
+	fg, err := workloads.DeployFaaS(m, true, o.Scale, o.Seed)
+	if err != nil {
+		return 0, err
+	}
+	names := fg.FunctionNames()
+	for j := 0; j < n; j++ {
+		if _, _, err := fg.Spawn(names[j%len(names)], 0, o.Seed+uint64(j)); err != nil {
+			return 0, err
+		}
+	}
+	if err := m.RunToCompletion(); err != nil {
+		return 0, err
+	}
+	var sum float64
+	for _, task := range fg.Tasks {
+		if task.LatOwn.Count() > 0 {
+			sum += task.LatOwn.Mean()
+		}
+	}
+	return sum, nil
 }
 
 // VariantRow compares BabelFish design variants on one workload.
@@ -168,38 +211,30 @@ func Variants(o Options) (*VariantsResult, error) {
 			return p
 		}},
 	}
-	var baseLat float64
-	for _, v := range vs {
-		m := sim.New(v.prep())
-		d, err := workloads.Deploy(m, workloads.MongoDB(), o.Scale, o.Seed)
-		if err != nil {
-			return nil, err
-		}
-		for core := 0; core < o.Cores; core++ {
-			for j := 0; j < 2; j++ {
-				if _, _, err := d.Spawn(core, o.Seed+uint64(core*97+j)); err != nil {
-					return nil, err
-				}
+	lats := make([]float64, len(vs))
+	var pl plan
+	for i, v := range vs {
+		i, v := i, v
+		pl.add("variants/"+v.name, func() error {
+			lat, err := mongoLatency(o, v.prep(), 2)
+			if err != nil {
+				return err
 			}
-		}
-		if err := d.PrefaultAll(); err != nil {
-			return nil, err
-		}
-		if err := m.Run(o.WarmInstr); err != nil {
-			return nil, err
-		}
-		m.ResetStats()
-		if err := m.Run(o.MeasureInstr); err != nil {
-			return nil, err
-		}
-		lat := d.MeanLatency()
-		if v.name == "baseline" {
-			baseLat = lat
-		}
+			lats[i] = lat
+			return nil
+		})
+	}
+	if err := pl.execute(o.Jobs); err != nil {
+		return nil, err
+	}
+	// Row 0 is the baseline; its own reduction is ReductionPct(x, x) = 0,
+	// matching the serial order-of-evaluation this code replaced.
+	baseLat := lats[0]
+	for i, v := range vs {
 		res.Rows = append(res.Rows, VariantRow{
 			Variant: v.name,
-			MeanLat: lat,
-			RedPct:  metrics.ReductionPct(baseLat, lat),
+			MeanLat: lats[i],
+			RedPct:  metrics.ReductionPct(baseLat, lats[i]),
 		})
 	}
 	return res, nil
@@ -218,45 +253,34 @@ type SMTResult struct {
 
 // SweepSMT measures MongoDB under both co-scheduling styles.
 func SweepSMT(o Options) (*SMTResult, error) {
-	run := func(a Arch, smt bool) (float64, error) {
-		params := o.Params(a)
-		params.SMT = smt
-		m := sim.New(params)
-		d, err := workloads.Deploy(m, workloads.MongoDB(), o.Scale, o.Seed)
-		if err != nil {
-			return 0, err
-		}
-		for core := 0; core < o.Cores; core++ {
-			for j := 0; j < 2; j++ {
-				if _, _, err := d.Spawn(core, o.Seed+uint64(core*97+j)); err != nil {
-					return 0, err
-				}
-			}
-		}
-		if err := d.PrefaultAll(); err != nil {
-			return 0, err
-		}
-		if err := m.Run(o.WarmInstr); err != nil {
-			return 0, err
-		}
-		m.ResetStats()
-		if err := m.Run(o.MeasureInstr); err != nil {
-			return 0, err
-		}
-		return d.MeanLatency(), nil
-	}
 	res := &SMTResult{}
-	var err error
-	if res.BaseTM, err = run(Baseline, false); err != nil {
-		return nil, err
+	// Four independent cells, each writing a distinct result field.
+	cells := []struct {
+		label string
+		arch  Arch
+		smt   bool
+		dst   *float64
+	}{
+		{"smt/baseline/tm", Baseline, false, &res.BaseTM},
+		{"smt/baseline/smt", Baseline, true, &res.BaseSMT},
+		{"smt/babelfish/tm", BabelFish, false, &res.BFTM},
+		{"smt/babelfish/smt", BabelFish, true, &res.BFSMT},
 	}
-	if res.BaseSMT, err = run(Baseline, true); err != nil {
-		return nil, err
+	var pl plan
+	for _, c := range cells {
+		c := c
+		pl.add(c.label, func() error {
+			params := o.Params(c.arch)
+			params.SMT = c.smt
+			v, err := mongoLatency(o, params, 2)
+			if err != nil {
+				return err
+			}
+			*c.dst = v
+			return nil
+		})
 	}
-	if res.BFTM, err = run(BabelFish, false); err != nil {
-		return nil, err
-	}
-	if res.BFSMT, err = run(BabelFish, true); err != nil {
+	if err := pl.execute(o.Jobs); err != nil {
 		return nil, err
 	}
 	res.RedTMPct = metrics.ReductionPct(res.BaseTM, res.BFTM)

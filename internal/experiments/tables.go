@@ -78,19 +78,30 @@ type LargerTLBResult struct {
 // Baseline+LargerTLB and BabelFish.
 func LargerTLB(o Options) (*LargerTLBResult, error) {
 	res := &LargerTLBResult{}
-	for _, spec := range append(ServingApps(), ComputeApps()...) {
-		var vals [3]float64
-		for i, a := range []Arch{Baseline, BaselineLargerTLB, BabelFish} {
-			_, d, err := deployServing(o, a, spec)
-			if err != nil {
-				return nil, err
-			}
-			vals[i] = d.MeanLatency()
+	specs := append(ServingApps(), ComputeApps()...)
+	vals := make([][3]float64, len(specs))
+	var pl plan
+	for si, spec := range specs {
+		for ai, a := range [3]Arch{Baseline, BaselineLargerTLB, BabelFish} {
+			si, ai, a, spec := si, ai, a, spec
+			pl.add("larger-tlb/"+spec.Name+"/"+a.String(), func() error {
+				_, d, err := deployServing(o, a, spec)
+				if err != nil {
+					return err
+				}
+				vals[si][ai] = d.MeanLatency()
+				return nil
+			})
 		}
+	}
+	if err := pl.execute(o.Jobs); err != nil {
+		return nil, err
+	}
+	for si, spec := range specs {
 		res.Apps = append(res.Apps, spec.Name)
 		res.Classes = append(res.Classes, spec.Class.String())
-		res.LargerRed = append(res.LargerRed, metrics.ReductionPct(vals[0], vals[1]))
-		res.BabelFishRed = append(res.BabelFishRed, metrics.ReductionPct(vals[0], vals[2]))
+		res.LargerRed = append(res.LargerRed, metrics.ReductionPct(vals[si][0], vals[si][1]))
+		res.BabelFishRed = append(res.BabelFishRed, metrics.ReductionPct(vals[si][0], vals[si][2]))
 	}
 	return res, nil
 }
@@ -118,45 +129,53 @@ type BringupResult struct {
 // the paper's 8% reduction, bounded by the fixed Docker-engine overheads.
 func Bringup(o Options) (*BringupResult, error) {
 	res := &BringupResult{}
-	for _, a := range []Arch{Baseline, BabelFish} {
-		oo := o
-		oo.Cores = 1
-		m := sim.New(oo.Params(a))
-		fg, err := workloads.DeployFaaS(m, false, o.Scale, o.Seed)
-		if err != nil {
-			return nil, err
-		}
-		// Warm the group: run one container of each function to
-		// completion so the shared tables/page cache are populated.
-		for i, name := range fg.FunctionNames() {
-			if _, _, err := fg.Spawn(name, 0, o.Seed+uint64(i)); err != nil {
-				return nil, err
-			}
-		}
-		if err := m.RunToCompletion(); err != nil {
-			return nil, err
-		}
-		// Now `docker start` a new parse container and time it.
-		engine := kernelEngineCosts()
-		task, forkCycles, err := fg.SpawnBringUp("parse", 0, o.Seed+99)
-		if err != nil {
-			return nil, err
-		}
-		if err := m.RunTaskOnly(task); err != nil {
-			return nil, err
-		}
-		var touch memdefs.Cycles
-		if task.Lat.Count() > 0 {
-			touch = memdefs.Cycles(task.Lat.Percentile(100))
-		}
+	var pl plan
+	for _, a := range [2]Arch{Baseline, BabelFish} {
+		a := a
 		slot := &res.BaseCycles
 		if a == BabelFish {
 			slot = &res.BFCycles
 		}
-		slot.Engine = engine
-		slot.Fork = forkCycles
-		slot.Touch = touch
-		slot.Total = engine + forkCycles + touch
+		pl.add("bringup/"+a.String(), func() error {
+			oo := o
+			oo.Cores = 1
+			m := sim.New(oo.Params(a))
+			fg, err := workloads.DeployFaaS(m, false, o.Scale, o.Seed)
+			if err != nil {
+				return err
+			}
+			// Warm the group: run one container of each function to
+			// completion so the shared tables/page cache are populated.
+			for i, name := range fg.FunctionNames() {
+				if _, _, err := fg.Spawn(name, 0, o.Seed+uint64(i)); err != nil {
+					return err
+				}
+			}
+			if err := m.RunToCompletion(); err != nil {
+				return err
+			}
+			// Now `docker start` a new parse container and time it.
+			engine := kernelEngineCosts()
+			task, forkCycles, err := fg.SpawnBringUp("parse", 0, o.Seed+99)
+			if err != nil {
+				return err
+			}
+			if err := m.RunTaskOnly(task); err != nil {
+				return err
+			}
+			var touch memdefs.Cycles
+			if task.Lat.Count() > 0 {
+				touch = memdefs.Cycles(task.Lat.Percentile(100))
+			}
+			slot.Engine = engine
+			slot.Fork = forkCycles
+			slot.Touch = touch
+			slot.Total = engine + forkCycles + touch
+			return nil
+		})
+	}
+	if err := pl.execute(o.Jobs); err != nil {
+		return nil, err
 	}
 	res.ReductionPct = metrics.ReductionPct(float64(res.BaseCycles.Total), float64(res.BFCycles.Total))
 	return res, nil
@@ -209,27 +228,36 @@ func Resources(o Options) (*ResourcesResult, error) {
 
 	oo := o
 	oo.Cores = 2
-	m, d, err := deployServing(oo, BabelFish, workloads.MongoDB())
-	if err != nil {
+	var pl plan
+	pl.add("resources/babelfish", func() error {
+		m, _, err := deployServing(oo, BabelFish, workloads.MongoDB())
+		if err != nil {
+			return err
+		}
+		census := m.Kernel.TableCensus()
+		res.MeasuredPTETables = census[memdefs.LvlPTE]
+		res.MeasuredMaskPages = m.Kernel.MaskPageCount()
+		if res.MeasuredPTETables > 0 {
+			res.MeasuredMaskPct = 100 * float64(res.MeasuredMaskPages*memdefs.PageSize) /
+				float64(res.MeasuredPTETables*memdefs.PageSize*512)
+		}
+		for _, n := range census {
+			res.BabelFishTableFrames += n
+		}
+		return nil
+	})
+	pl.add("resources/baseline", func() error {
+		mBase, _, err := deployServing(oo, Baseline, workloads.MongoDB())
+		if err != nil {
+			return err
+		}
+		for _, n := range mBase.Kernel.TableCensus() {
+			res.BaselineTableFrames += n
+		}
+		return nil
+	})
+	if err := pl.execute(o.Jobs); err != nil {
 		return nil, err
-	}
-	_ = d
-	census := m.Kernel.TableCensus()
-	res.MeasuredPTETables = census[memdefs.LvlPTE]
-	res.MeasuredMaskPages = m.Kernel.MaskPageCount()
-	if res.MeasuredPTETables > 0 {
-		res.MeasuredMaskPct = 100 * float64(res.MeasuredMaskPages*memdefs.PageSize) /
-			float64(res.MeasuredPTETables*memdefs.PageSize*512)
-	}
-	for _, n := range census {
-		res.BabelFishTableFrames += n
-	}
-	mBase, _, err := deployServing(oo, Baseline, workloads.MongoDB())
-	if err != nil {
-		return nil, err
-	}
-	for _, n := range mBase.Kernel.TableCensus() {
-		res.BaselineTableFrames += n
 	}
 	res.TableFramesRedPct = metrics.ReductionPct(
 		float64(res.BaselineTableFrames), float64(res.BabelFishTableFrames))

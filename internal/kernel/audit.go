@@ -13,9 +13,10 @@ import (
 type AuditReport struct {
 	Violations []string
 
-	TablesWalked  int    // distinct physical table frames reached
-	FramesChecked int    // allocated frames whose refcounts were verified
-	BugPanicCount uint64 // kernel.bug() invariant panics observed process-wide
+	TablesWalked      int    // distinct physical table frames reached
+	FramesChecked     int    // allocated frames whose refcounts were verified
+	TLBEntriesChecked int    // valid TLB entries cross-checked against live PTEs
+	BugPanicCount     uint64 // kernel.bug() invariant panics observed process-wide
 }
 
 // OK reports whether the audit found no violations.
@@ -25,6 +26,9 @@ func (r AuditReport) OK() bool { return len(r.Violations) == 0 }
 func (r AuditReport) String() string {
 	s := fmt.Sprintf("kernel audit: %d tables walked, %d frames checked, %d violations",
 		r.TablesWalked, r.FramesChecked, len(r.Violations))
+	if r.TLBEntriesChecked > 0 {
+		s = fmt.Sprintf("%s (%d TLB entries cross-checked)", s, r.TLBEntriesChecked)
+	}
 	for _, v := range r.Violations {
 		s += "\n  - " + v
 	}

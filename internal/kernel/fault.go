@@ -395,10 +395,10 @@ func (k *Kernel) ensureOwnedTable(p *Process, gva memdefs.VAddr) (memdefs.Cycles
 	mp.masks[pmdIdx] |= 1 << uint(bit)
 
 	// Propagate ORPC into every member's pmd_t that points at the shared
-	// table.
+	// table (PID order, so any table growth is deterministic).
 	if hasShared {
-		for _, m := range g.members {
-			if m.Tables.TableAt(gva, memdefs.LvlPTE) == sharedTbl {
+		for _, pid := range sortedPIDs(g.members) {
+			if m := g.members[pid]; m.Tables.TableAt(gva, memdefs.LvlPTE) == sharedTbl {
 				k.setPMDORPC(m, gva, true)
 			}
 		}
@@ -479,8 +479,8 @@ func (k *Kernel) assignPCBit(p *Process, gva memdefs.VAddr) (reverted bool, cycl
 		return false, 0, nil
 	}
 	if sharedTbl, has := k.sharedTableFor(g, gva); has {
-		for _, m := range g.members {
-			if m.Tables.TableAt(gva, memdefs.LvlPTE) == sharedTbl {
+		for _, pid := range sortedPIDs(g.members) {
+			if m := g.members[pid]; m.Tables.TableAt(gva, memdefs.LvlPTE) == sharedTbl {
 				k.setPMDORPC(m, gva, true)
 			}
 		}
@@ -602,12 +602,17 @@ func (k *Kernel) revertRegion(g *Group, gva memdefs.VAddr) (memdefs.Cycles, erro
 		return k.revertRegionPMD(g, gva, cycles)
 	}
 
-	for key2m, sharedTbl := range g.sharedPTE {
+	// Sorted iteration on both maps: this path allocates private table
+	// copies per (region, member), and allocation order must not depend
+	// on map order or the machine's physical layout diverges run to run.
+	for _, key2m := range sortedKeys(g.sharedPTE) {
+		sharedTbl := g.sharedPTE[key2m]
 		if key2m>>memdefs.EntryBits != key1g {
 			continue
 		}
 		rgva := memdefs.VAddr(key2m) << memdefs.HugePageShift2M
-		for _, m := range g.members {
+		for _, pid := range sortedPIDs(g.members) {
+			m := g.members[pid]
 			if m.Tables.TableAt(rgva, memdefs.LvlPTE) != sharedTbl {
 				continue
 			}
@@ -659,7 +664,10 @@ func (k *Kernel) revertRegionPMD(g *Group, gva memdefs.VAddr, cycles memdefs.Cyc
 	if !has {
 		return cycles, nil
 	}
-	for _, m := range g.members {
+	// PID order: privatization allocates tables per member, and the
+	// allocation sequence must be independent of map iteration order.
+	for _, pid := range sortedPIDs(g.members) {
+		m := g.members[pid]
 		if m.Tables.TableAt(gva, memdefs.LvlPMD) != sharedPMD {
 			continue
 		}

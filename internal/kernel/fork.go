@@ -149,8 +149,11 @@ func (k *Kernel) forkShared(parent, child *Process) (memdefs.Cycles, error) {
 	// entries already CoW.
 	cycles += k.sweepSharedCoW(parent)
 
-	// Link shared PTE tables.
-	for key, tablePPN := range parent.Group.sharedPTE {
+	// Link shared PTE tables, in sorted key order: LinkTable grows the
+	// child's upper tables on demand, so iteration order decides frame
+	// allocation order and must not depend on map layout.
+	for _, key := range sortedKeys(parent.Group.sharedPTE) {
+		tablePPN := parent.Group.sharedPTE[key]
 		gva := memdefs.VAddr(key) << memdefs.HugePageShift2M
 		if _, ok := child.FindVMA(gva); !ok {
 			continue
@@ -167,8 +170,10 @@ func (k *Kernel) forkShared(parent, child *Process) (memdefs.Cycles, error) {
 		}
 		linked++
 	}
-	// Link shared PMD tables (huge-page merging).
-	for key, tablePPN := range parent.Group.sharedPMD {
+	// Link shared PMD tables (huge-page merging), sorted like the PTE
+	// links above.
+	for _, key := range sortedKeys(parent.Group.sharedPMD) {
+		tablePPN := parent.Group.sharedPMD[key]
 		gva := memdefs.VAddr(key) << memdefs.HugePageShift1G
 		if _, ok := child.FindVMA(gva); !ok {
 			continue
@@ -255,12 +260,13 @@ func (k *Kernel) sweepSharedCoW(parent *Process) memdefs.Cycles {
 			downgraded++
 		}
 	}
-	for key, tbl := range g.sharedPTE {
-		sweepPTE(tbl, memdefs.VAddr(key)<<memdefs.HugePageShift2M)
+	for _, key := range sortedKeys(g.sharedPTE) {
+		sweepPTE(g.sharedPTE[key], memdefs.VAddr(key)<<memdefs.HugePageShift2M)
 	}
 	// Under PMD-level sharing, sweep every PTE table under each shared
 	// PMD table.
-	for key, pmd := range g.sharedPMD {
+	for _, key := range sortedKeys(g.sharedPMD) {
+		pmd := g.sharedPMD[key]
 		base1g := memdefs.VAddr(key) << memdefs.HugePageShift1G
 		entries := k.Mem.Table(pmd)
 		for i := 0; i < memdefs.TableSize; i++ {

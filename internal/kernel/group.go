@@ -59,11 +59,11 @@ func (k *Kernel) NewGroup(name string, seed uint64) *Group {
 	return g
 }
 
-// Members returns the group's live processes.
+// Members returns the group's live processes in PID order.
 func (g *Group) Members() []*Process {
 	out := make([]*Process, 0, len(g.members))
-	for _, p := range g.members {
-		out = append(out, p)
+	for _, pid := range sortedPIDs(g.members) {
+		out = append(out, g.members[pid])
 	}
 	return out
 }
@@ -83,16 +83,20 @@ func (g *Group) removeMember(pid memdefs.PID) {
 // and MaskPage frames. The group object itself stays registered so a new
 // container generation can reuse the same layout.
 func (g *Group) teardown() {
-	for key, tbl := range g.sharedPTE {
-		g.kern.releaseSharedTableAtLevel(tbl, memdefs.LvlPTE)
+	// Release in sorted key order, not map order: freed frames feed the
+	// allocator's free list, and free-list order decides which frames
+	// later allocations receive, so map iteration here would make
+	// whole-machine runs nondeterministic.
+	for _, key := range sortedKeys(g.sharedPTE) {
+		g.kern.releaseSharedTableAtLevel(g.sharedPTE[key], memdefs.LvlPTE)
 		delete(g.sharedPTE, key)
 	}
-	for key, tbl := range g.sharedPMD {
-		g.kern.releaseSharedTableAtLevel(tbl, memdefs.LvlPMD)
+	for _, key := range sortedKeys(g.sharedPMD) {
+		g.kern.releaseSharedTableAtLevel(g.sharedPMD[key], memdefs.LvlPMD)
 		delete(g.sharedPMD, key)
 	}
-	for key, mp := range g.maskPages {
-		g.kern.Mem.Unref(mp.Frame)
+	for _, key := range sortedKeys(g.maskPages) {
+		g.kern.Mem.Unref(g.maskPages[key].Frame)
 		delete(g.maskPages, key)
 	}
 }

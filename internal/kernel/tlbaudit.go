@@ -1,0 +1,148 @@
+package kernel
+
+import (
+	"babelfish/internal/memdefs"
+)
+
+// TLBEntryView is a hardware TLB entry as presented to the kernel's
+// consistency audit. The sim layer flattens each valid entry of every
+// core's TLB groups into one of these; the kernel — which owns the page
+// tables — checks that the cached translation is still backed by a live
+// PTE.
+type TLBEntryView struct {
+	Where string // e.g. "core0/L2" — used in violation messages
+	Size  memdefs.PageSizeClass
+	VPN   memdefs.VPN
+	PPN   memdefs.PPN // leaf base frame (huge-page offsets not applied)
+	Perm  memdefs.Perm
+	CoW   bool
+	PCID  memdefs.PCID
+	CCID  memdefs.CCID
+	Owned bool
+	// GroupVA is true when VPN is in the group (shared) address space —
+	// the L2 TLB sits below the ASLR transform, so its entries are tagged
+	// with group VPNs; L1 entries hold process VPNs.
+	GroupVA bool
+	// CCIDTagged reports the holding TLB's tag mode: a CCID-tagged entry
+	// with O==0 may be used by any group member, so any member's tables
+	// may back it; PCID-tagged (and Owned) entries belong to exactly one
+	// process.
+	CCIDTagged bool
+	Global     bool
+}
+
+// AuditTLBEntry cross-checks one valid TLB entry against the live page
+// tables, appending any violations to r and counting the entry in
+// r.TLBEntriesChecked. The rules follow the shootdown protocol:
+//
+//   - PCID-tagged and Owned entries belong to one process. That process
+//     must be alive (Process.Exit flushes its PCID from every TLB, so a
+//     dangling PCID is a stale entry) and its tables must map the page
+//     to the same frame with the same permissions.
+//   - CCID-tagged shared (O==0) entries may be used by any member of the
+//     group, so at least one live member's walk must match. Members that
+//     took private CoW copies legitimately diverge — that is what the
+//     O-PC machinery exists for — but if nobody backs the translation,
+//     the invalidation path lost an entry.
+func (k *Kernel) AuditTLBEntry(r *AuditReport, v TLBEntryView) {
+	r.TLBEntriesChecked++
+	if v.Global {
+		return // kernel-style global mappings are outside process tables
+	}
+	va := memdefs.VAddr(uint64(v.VPN) << v.Size.Shift())
+
+	if !v.CCIDTagged || v.Owned {
+		p := k.processByPCID(v.PCID)
+		if p == nil {
+			r.violate("%s: stale TLB entry (vpn %#x, %v): no live process with PCID %d",
+				v.Where, v.VPN, v.Size, v.PCID)
+			return
+		}
+		gva := va
+		if !v.GroupVA {
+			gva = p.GroupVA(va)
+		}
+		if why := k.tlbWalkMatch(p, gva, v); why != "" {
+			r.violate("%s: TLB entry (vpn %#x, %v, pid %d) disagrees with page tables: %s",
+				v.Where, v.VPN, v.Size, p.PID, why)
+		}
+		return
+	}
+
+	g := k.groupByCCID(v.CCID)
+	if g == nil {
+		r.violate("%s: stale TLB entry (vpn %#x, %v): no live group with CCID %d",
+			v.Where, v.VPN, v.Size, v.CCID)
+		return
+	}
+	var lastWhy string
+	for _, pid := range sortedPIDs(g.members) {
+		p := g.members[pid]
+		gva := va
+		if !v.GroupVA {
+			gva = p.GroupVA(va)
+		}
+		if why := k.tlbWalkMatch(p, gva, v); why == "" {
+			return
+		} else {
+			lastWhy = why
+		}
+	}
+	r.violate("%s: shared TLB entry (vpn %#x, %v, ccid %d) backed by no member's page tables (last mismatch: %s)",
+		v.Where, v.VPN, v.Size, v.CCID, lastWhy)
+}
+
+// tlbWalkMatch walks p's tables at gva and compares the live leaf with
+// the cached entry. Returns "" on a match, else a short mismatch reason.
+func (k *Kernel) tlbWalkMatch(p *Process, gva memdefs.VAddr, v TLBEntryView) string {
+	w := p.Tables.Walk(gva)
+	if !w.Complete {
+		return "no present mapping"
+	}
+	if w.Size != v.Size {
+		return "size " + w.Size.String() + " != " + v.Size.String()
+	}
+	if w.Leaf.PPN() != v.PPN {
+		return "frame mismatch"
+	}
+	if w.Leaf.Perm() != v.Perm {
+		return "permission mismatch"
+	}
+	if w.Leaf.CoW() != v.CoW {
+		return "CoW bit mismatch"
+	}
+	return ""
+}
+
+func (k *Kernel) processByPCID(pcid memdefs.PCID) *Process {
+	for _, p := range k.procs {
+		if p.PCID == pcid {
+			return p
+		}
+	}
+	return nil
+}
+
+func (k *Kernel) groupByCCID(ccid memdefs.CCID) *Group {
+	for _, g := range k.groups {
+		if g.CCID == ccid {
+			return g
+		}
+	}
+	return nil
+}
+
+// sortedPIDs returns a member map's PIDs in ascending order so audit
+// output is deterministic.
+func sortedPIDs(m map[memdefs.PID]*Process) []memdefs.PID {
+	pids := make([]memdefs.PID, 0, len(m))
+	for pid := range m {
+		pids = append(pids, pid)
+	}
+	for i := 1; i < len(pids); i++ {
+		for j := i; j > 0 && pids[j] < pids[j-1]; j-- {
+			pids[j], pids[j-1] = pids[j-1], pids[j]
+		}
+	}
+	return pids
+}

@@ -101,6 +101,8 @@ type MMU struct {
 	OS   OS
 
 	stats Stats
+	// scratch receives resolution details for TranslateInto(nil) callers.
+	scratch Info
 }
 
 // New builds an MMU with Table I structures for the given configuration.
@@ -166,9 +168,25 @@ type Info struct {
 // invoking the OS on faults. It returns the physical frame and the cycles
 // consumed by translation (not including the subsequent data access).
 func (m *MMU) Translate(ctx *Ctx, va memdefs.VAddr, write bool, kind memdefs.AccessKind) (memdefs.PPN, memdefs.Cycles, Info, error) {
+	var info Info
+	ppn, cycles, err := m.TranslateInto(ctx, va, write, kind, &info)
+	return ppn, cycles, info, err
+}
+
+// TranslateInto is Translate without the Info copy on return: the caller
+// passes where the resolution details should be written, or nil when it
+// does not care. The simulator's inner loop calls this with nil whenever
+// no tracer or telemetry is attached, so the common path does not pay for
+// copying a multi-word struct per memory access. With nil the details
+// land in a per-MMU scratch Info — safe because an MMU belongs to exactly
+// one core and is never called concurrently.
+func (m *MMU) TranslateInto(ctx *Ctx, va memdefs.VAddr, write bool, kind memdefs.AccessKind, info *Info) (memdefs.PPN, memdefs.Cycles, error) {
+	if info == nil {
+		info = &m.scratch
+	}
+	*info = Info{}
 	m.stats.Translations++
 	var cycles memdefs.Cycles
-	info := Info{}
 
 	l1 := m.L1D
 	if kind == memdefs.AccessInstr {
@@ -193,7 +211,7 @@ func (m *MMU) Translate(ctx *Ctx, va memdefs.VAddr, write bool, kind memdefs.Acc
 			m.stats.TotalCycles += cycles
 			info.Level = "L1"
 			info.Size = r1.Size
-			return m.ppnFor(r1.Entry, r1.Size, va), cycles, info, nil
+			return m.ppnFor(r1.Entry, r1.Size, va), cycles, nil
 		case tlb.HitCoWFault:
 			// The entry is stale by definition (a write through it can
 			// never succeed); drop the local translations so the retry
@@ -206,14 +224,14 @@ func (m *MMU) Translate(ctx *Ctx, va memdefs.VAddr, write bool, kind memdefs.Acc
 			} else {
 				m.L2.InvalidateVA(va)
 			}
-			fc, err := m.fault(ctx, va, write, kind, &info)
+			fc, err := m.fault(ctx, va, write, kind, info)
 			cycles += fc
 			if err != nil {
-				return 0, cycles, info, err
+				return 0, cycles, err
 			}
 			continue
 		case tlb.HitProtFault:
-			return 0, cycles, info, fmt.Errorf("%w: pid %d va %#x write=%v kind=%v (L1)", ErrProtection, ctx.PID, va, write, kind)
+			return 0, cycles, fmt.Errorf("%w: pid %d va %#x write=%v kind=%v (L1)", ErrProtection, ctx.PID, va, write, kind)
 		}
 
 		// --- ASLR-HW transform between L1 and L2 TLBs.
@@ -248,18 +266,18 @@ func (m *MMU) Translate(ctx *Ctx, va memdefs.VAddr, write bool, kind memdefs.Acc
 			info.Size = r2.Size
 			m.fillL1(l1, ctx, va, r2.Size, r2.Entry)
 			m.stats.TotalCycles += cycles
-			return m.ppnFor(r2.Entry, r2.Size, va), cycles, info, nil
+			return m.ppnFor(r2.Entry, r2.Size, va), cycles, nil
 		case tlb.HitCoWFault:
 			m.L2.InvalidateSharedVA(sva, ctx.CCID)
 			m.L2.InvalidateVA(sva)
-			fc, err := m.fault(ctx, va, write, kind, &info)
+			fc, err := m.fault(ctx, va, write, kind, info)
 			cycles += fc
 			if err != nil {
-				return 0, cycles, info, err
+				return 0, cycles, err
 			}
 			continue
 		case tlb.HitProtFault:
-			return 0, cycles, info, fmt.Errorf("%w: pid %d va %#x write=%v kind=%v (L2)", ErrProtection, ctx.PID, va, write, kind)
+			return 0, cycles, fmt.Errorf("%w: pid %d va %#x write=%v kind=%v (L2)", ErrProtection, ctx.PID, va, write, kind)
 		}
 		m.stats.L2Misses++
 		if kind == memdefs.AccessInstr {
@@ -269,19 +287,19 @@ func (m *MMU) Translate(ctx *Ctx, va memdefs.VAddr, write bool, kind memdefs.Acc
 		}
 
 		// --- Hardware page walk.
-		ppn, wc, ok, err := m.walk(ctx, l1, va, sva, write, kind, &info)
+		ppn, wc, ok, err := m.walk(ctx, l1, va, sva, write, kind, info)
 		cycles += wc
 		if err != nil {
-			return 0, cycles, info, err
+			return 0, cycles, err
 		}
 		if ok {
 			info.Level = "walk"
 			m.stats.TotalCycles += cycles
-			return ppn, cycles, info, nil
+			return ppn, cycles, nil
 		}
 		// A fault was handled during the walk; retry from the top.
 	}
-	return 0, cycles, info, fmt.Errorf("%w: pid %d va %#x", ErrRetries, ctx.PID, va)
+	return 0, cycles, fmt.Errorf("%w: pid %d va %#x", ErrRetries, ctx.PID, va)
 }
 
 // fault invokes the OS handler and accounts it.

@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"fmt"
+
+	"babelfish/internal/kernel"
+	"babelfish/internal/memdefs"
+	"babelfish/internal/tlb"
+)
+
+// AuditTLBs cross-checks every valid entry of every core's TLBs against
+// the kernel's live page tables (ROADMAP: "teach the auditor to
+// cross-check the hardware tables"). A valid entry must translate its
+// page exactly as a walk of a live process's tables would — same frame,
+// permissions and CoW state — otherwise an invalidation path (shootdown,
+// exit flush, CoW privatization) lost an entry.
+//
+// The address spaces differ by level: L1 TLBs sit above the ASLR
+// transform and hold process VPNs, while the L2 TLB is probed with the
+// group's shared VPN, so its entries live in the group address space.
+// Call at quiesce points, like Kernel.Audit.
+func (m *Machine) AuditTLBs() kernel.AuditReport {
+	var r kernel.AuditReport
+	for _, c := range m.Cores {
+		cfg := c.MMU.Config()
+		// Under ASLR-HW the L1 TLBs stay conventional (PCID-tagged); with
+		// ASLR-SW the whole hierarchy is CCID-tagged.
+		l1CCID := cfg.BabelFish && !cfg.ASLRHW
+		m.auditGroup(&r, fmt.Sprintf("core%d/L1D", c.ID), c.MMU.L1D, false, l1CCID)
+		m.auditGroup(&r, fmt.Sprintf("core%d/L1I", c.ID), c.MMU.L1I, false, l1CCID)
+		m.auditGroup(&r, fmt.Sprintf("core%d/L2", c.ID), c.MMU.L2, true, cfg.BabelFish)
+	}
+	return r
+}
+
+func (m *Machine) auditGroup(r *kernel.AuditReport, where string, g *tlb.Group, groupVA, ccidTagged bool) {
+	g.ForEachValid(func(sz memdefs.PageSizeClass, e *tlb.Entry) {
+		m.Kernel.AuditTLBEntry(r, kernel.TLBEntryView{
+			Where:      where,
+			Size:       sz,
+			VPN:        e.VPN,
+			PPN:        e.PPN,
+			Perm:       e.Perm,
+			CoW:        e.CoW,
+			PCID:       e.PCID,
+			CCID:       e.CCID,
+			Owned:      e.Owned,
+			GroupVA:    groupVA,
+			CCIDTagged: ccidTagged,
+			Global:     e.Global,
+		})
+	})
+}

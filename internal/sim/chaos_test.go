@@ -49,6 +49,21 @@ func runChaos(t *testing.T, nth uint64) metrics.Counters {
 	if rep := m.Kernel.Audit(); !rep.OK() {
 		t.Errorf("kernel audit (nth=%d):\n%s", nth, rep)
 	}
+	if rep := m.AuditTLBs(); !rep.OK() {
+		t.Errorf("TLB audit (nth=%d):\n%s", nth, rep)
+	} else if rep.TLBEntriesChecked == 0 && len(m.Tasks()) > 0 {
+		// Empty TLBs are legitimate only when every task was OOM-killed
+		// and its exit flushed all its translations.
+		alive := false
+		for _, task := range m.Tasks() {
+			if !task.Done {
+				alive = true
+			}
+		}
+		if alive {
+			t.Errorf("TLB audit checked no entries with live tasks (nth=%d)", nth)
+		}
+	}
 	c := m.Counters()
 	if c.KernelBugs != 0 {
 		t.Errorf("kernel bug panics under chaos: %d", c.KernelBugs)
@@ -133,5 +148,9 @@ func TestOOMKillerTerminatesTask(t *testing.T) {
 	}
 	if rep := m.Mem.Audit(); !rep.OK() {
 		t.Fatalf("physmem audit after OOM kill:\n%s", rep)
+	}
+	// The exit flush must have removed the dead process's translations.
+	if rep := m.AuditTLBs(); !rep.OK() {
+		t.Fatalf("TLB audit after OOM kill:\n%s", rep)
 	}
 }

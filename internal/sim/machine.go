@@ -163,6 +163,13 @@ type Machine struct {
 	sampler             *telemetry.Sampler
 	histXlat, histFault *telemetry.Hist
 
+	// Memoized Aggregate() for the derived xlat.* gauges: one registry
+	// snapshot reads four of them, each of which would otherwise re-walk
+	// every core's MMU stats (see aggregateCached).
+	agg      AggStats
+	aggKey   [2]uint64
+	aggValid bool
+
 	oomKills uint64
 }
 
@@ -313,6 +320,13 @@ func (m *Machine) runQuantumSMT(c *Core, t1, t2 *Task) (uint64, error) {
 	turn := 0
 	observe := m.Tracer != nil || m.telemetryOn
 	sam := m.sampler
+	// With no observer attached, pass nil so the MMU skips the per-access
+	// Info bookkeeping copy (see mmu.TranslateInto).
+	var tinfo mmu.Info
+	infoPtr := &tinfo
+	if !observe {
+		infoPtr = nil
+	}
 	for c.Cycles < end {
 		t := tasks[turn%2]
 		turn++
@@ -345,7 +359,7 @@ func (m *Machine) runQuantumSMT(c *Core, t1, t2 *Task) (uint64, error) {
 		c.Cycles += think
 		instrs += uint64(step.Think) + 1
 
-		ppn, tc, tinfo, err := c.MMU.Translate(&t.ctx, step.VA, step.Write, step.Kind)
+		ppn, tc, err := c.MMU.TranslateInto(&t.ctx, step.VA, step.Write, step.Kind, infoPtr)
 		if err != nil {
 			if m.oomKill(c, t, err) {
 				continue
@@ -386,6 +400,13 @@ func (m *Machine) runQuantumTask(c *Core, t *Task) (uint64, error) {
 	var instrs uint64
 	observe := m.Tracer != nil || m.telemetryOn
 	sam := m.sampler
+	// With no observer attached, pass nil so the MMU skips the per-access
+	// Info bookkeeping copy (see mmu.TranslateInto).
+	var tinfo mmu.Info
+	infoPtr := &tinfo
+	if !observe {
+		infoPtr = nil
+	}
 	for c.Cycles < end {
 		if !t.Gen.Next(&step) {
 			t.Done = true
@@ -411,7 +432,7 @@ func (m *Machine) runQuantumTask(c *Core, t *Task) (uint64, error) {
 		instrs += uint64(step.Think) + 1
 
 		// Translate, then access memory.
-		ppn, tc, tinfo, err := c.MMU.Translate(&t.ctx, step.VA, step.Write, step.Kind)
+		ppn, tc, err := c.MMU.TranslateInto(&t.ctx, step.VA, step.Write, step.Kind, infoPtr)
 		if err != nil {
 			if m.oomKill(c, t, err) {
 				break
@@ -536,6 +557,7 @@ func (m *Machine) RunToCompletion() error {
 // ResetStats zeroes all hardware and kernel counters and per-task
 // accounting — the warm-up/measurement boundary.
 func (m *Machine) ResetStats() {
+	m.aggValid = false
 	for _, c := range m.Cores {
 		c.MMU.ResetStats()
 		c.Hier.ResetStats()
@@ -581,7 +603,11 @@ func (m *Machine) Counters() metrics.Counters {
 
 // Tasks returns every task on the machine.
 func (m *Machine) Tasks() []*Task {
-	var out []*Task
+	n := 0
+	for _, c := range m.Cores {
+		n += len(c.tasks)
+	}
+	out := make([]*Task, 0, n)
 	for _, c := range m.Cores {
 		out = append(out, c.tasks...)
 	}
@@ -623,6 +649,27 @@ func (m *Machine) Aggregate() AggStats {
 		a.FaultCyc += s.FaultCycles
 	}
 	return a
+}
+
+// aggregateCached returns Aggregate(), recomputing only when the
+// machine's counters have moved since the previous call. The cache key is
+// (instructions, translations) summed across cores — both monotone within
+// a measurement interval — so the four xlat.* gauges of one registry
+// snapshot share a single roll-up instead of walking every core's MMU
+// stats four times.
+func (m *Machine) aggregateCached() AggStats {
+	var instrs, xlats uint64
+	for _, c := range m.Cores {
+		instrs += c.Instrs
+		xlats += c.MMU.Stats().Translations
+	}
+	if m.aggValid && m.aggKey == [2]uint64{instrs, xlats} {
+		return m.agg
+	}
+	m.agg = m.Aggregate()
+	m.aggKey = [2]uint64{instrs, xlats}
+	m.aggValid = true
+	return m.agg
 }
 
 // MPKIData returns machine-wide L2 TLB data MPKI.

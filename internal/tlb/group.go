@@ -43,9 +43,10 @@ func (g *Group) Lookup(va memdefs.VAddr, q Lookup) GroupResult {
 		if t == nil {
 			continue
 		}
-		qq := q
-		qq.VPN = sz.VPNOf(va)
-		res, e, lat := t.LookupEntry(qq)
+		// q is already this call's private copy, so patch the VPN in
+		// place rather than copying the whole Lookup per size class.
+		q.VPN = sz.VPNOf(va)
+		res, e, lat := t.LookupEntry(q)
 		if lat > out.Lat {
 			out.Lat = lat
 		}
@@ -110,6 +111,18 @@ func (g *Group) FlushAll() {
 		if t != nil {
 			t.FlushAll()
 		}
+	}
+}
+
+// ForEachValid calls fn for every valid entry in every size class, with
+// the entry's size class. Used by the kernel TLB-consistency audit.
+func (g *Group) ForEachValid(fn func(memdefs.PageSizeClass, *Entry)) {
+	for sz := memdefs.Page4K; sz < memdefs.NumPageSizes; sz++ {
+		t := g.BydSize[sz]
+		if t == nil {
+			continue
+		}
+		t.ForEachValid(func(e *Entry) { fn(sz, e) })
 	}
 }
 

@@ -201,24 +201,42 @@ func permOK(e *Entry, q *Lookup) bool {
 
 // LookupEntry implements the Figure-8 algorithm and returns the matched
 // entry (for Hit results), the latency, and the outcome.
+//
+// The way scan is the hottest loop in the simulator (every memory access
+// probes up to three structures), so the tag mode — fixed per TLB — is
+// resolved once outside the loop, and each way is rejected on the VPN
+// compare before any mode logic runs.
 func (t *TLB) LookupEntry(q Lookup) (Result, *Entry, memdefs.Cycles) {
 	t.stats.Accesses++
 	t.tick++
 	lat := t.cfg.AccessTime
-	ways := t.set(q.VPN)
-	for i := range ways {
-		e := &ways[i]
-		if !e.Valid || e.VPN != q.VPN {
-			continue
-		}
-		if t.cfg.Mode == TagPCID {
-			if !e.Global && e.PCID != q.PCID {
+	vpn := q.VPN
+	ways := t.set(vpn)
+
+	if t.cfg.Mode == TagPCID {
+		pcid := q.PCID
+		for i := range ways {
+			e := &ways[i]
+			if e.VPN != vpn || !e.Valid {
+				continue
+			}
+			if !e.Global && e.PCID != pcid {
 				continue
 			}
 			return t.finishHit(e, &q, lat)
 		}
+		t.stats.Misses++
+		return Miss, nil, lat
+	}
+
+	ccid := q.CCID
+	for i := range ways {
+		e := &ways[i]
+		if e.VPN != vpn || !e.Valid {
+			continue
+		}
 		// TagCCID: VPN and CCID must match (step 1).
-		if e.CCID != q.CCID {
+		if e.CCID != ccid {
 			continue
 		}
 		if e.Owned {
@@ -235,7 +253,7 @@ func (t *TLB) LookupEntry(q Lookup) (Result, *Entry, memdefs.Cycles) {
 			t.stats.MaskChecks++
 			lat = t.cfg.AccessTimeMask
 			if q.PCBit != nil {
-				if bit, ok := q.PCBit(q.VPN); ok && bit < memdefs.PCBitmaskBits && e.PCMask&(1<<uint(bit)) != 0 {
+				if bit, ok := q.PCBit(vpn); ok && bit < memdefs.PCBitmaskBits && e.PCMask&(1<<uint(bit)) != 0 {
 					// The process has its own private copy of this page;
 					// it cannot use the shared translation (step 10).
 					t.stats.PrivateCopySkips++
@@ -376,6 +394,18 @@ func (t *TLB) FlushAll() {
 	for s := range t.sets {
 		for i := range t.sets[s] {
 			t.sets[s][i].Valid = false
+		}
+	}
+}
+
+// ForEachValid calls fn for every valid entry (diagnostics/audits). The
+// pointer is valid only for the duration of the call.
+func (t *TLB) ForEachValid(fn func(*Entry)) {
+	for s := range t.sets {
+		for i := range t.sets[s] {
+			if t.sets[s][i].Valid {
+				fn(&t.sets[s][i])
+			}
 		}
 	}
 }

@@ -111,9 +111,13 @@ func DeployFaaS(m *sim.Machine, sparse bool, scale float64, seed uint64) (*FaaSG
 		return nil, err
 	}
 
+	// Iterate functions in their registered order, not map order: the
+	// prefault sequence decides which physical frames each file gets, and
+	// frame layout must be identical run to run for the experiments'
+	// determinism contract.
 	files := []*kernel.File{fg.Infra, fg.Libs, fg.Input}
-	for _, fn := range fg.fns {
-		files = append(files, fn.bin)
+	for _, name := range fg.FunctionNames() {
+		files = append(files, fg.fns[name].bin)
 	}
 	for _, f := range files {
 		if err := f.Prefault(); err != nil {
@@ -137,7 +141,10 @@ func (fg *FaaSGroup) mapAll(p *kernel.Process) error {
 	if _, err := p.MapFile(fg.RInput, fg.Input, 0, permRO, true, "input"); err != nil {
 		return err
 	}
-	for name, fn := range fg.fns {
+	// Stable function order for the same reason as the prefault loop in
+	// DeployFaaS: mapping order decides fault and frame-allocation order.
+	for _, name := range fg.FunctionNames() {
+		fn := fg.fns[name]
 		if _, err := p.MapFile(fn.rBin, fn.bin, 0, permRX, true, name+"/bin"); err != nil {
 			return err
 		}

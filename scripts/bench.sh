@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# bench.sh — the PR 3 bench runner: measures the translation hot path
+# (go test -bench) and the full quick-scale experiment suite serial vs
+# parallel, verifies the parallel run is byte-identical, and emits a
+# machine-readable BENCH_<n>.json seeding the perf trajectory.
+#
+# Usage: scripts/bench.sh [output.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=${1:-BENCH_3.json}
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== micro-benchmarks (internal/sim + facade) =="
+go test -run '^$' -bench 'BenchmarkTranslate$|BenchmarkMachineRun' \
+    -benchtime 1s ./internal/sim/ | tee "$tmp/bench_sim.txt"
+go test -run '^$' -bench 'BenchmarkTLBLookup$|BenchmarkTranslateWalk$' \
+    -benchtime 1s . | tee "$tmp/bench_root.txt"
+
+# ns_of NAME FILE — ns/op of one benchmark line ("Name-8  N  12.3 ns/op").
+ns_of() {
+    awk -v name="$1" '$1 ~ "^"name"(-[0-9]+)?$" { print $3; exit }' "$2"
+}
+ns_translate=$(ns_of BenchmarkTranslate "$tmp/bench_sim.txt")
+ns_run_base=$(ns_of 'BenchmarkMachineRun/Baseline' "$tmp/bench_sim.txt")
+ns_run_bf=$(ns_of 'BenchmarkMachineRun/BabelFish' "$tmp/bench_sim.txt")
+ns_tlb=$(ns_of BenchmarkTLBLookup "$tmp/bench_root.txt")
+ns_walk=$(ns_of BenchmarkTranslateWalk "$tmp/bench_root.txt")
+
+echo "== experiment suite wall-clock: jobs=1 vs jobs=4 =="
+go build -o "$tmp/bfbench" ./cmd/bfbench
+
+t0=$(date +%s%N)
+"$tmp/bfbench" -quick -format json -jobs 1 > "$tmp/serial.json"
+t1=$(date +%s%N)
+"$tmp/bfbench" -quick -format json -jobs 4 > "$tmp/par.json"
+t2=$(date +%s%N)
+
+serial_s=$(awk -v a="$t0" -v b="$t1" 'BEGIN { printf "%.3f", (b-a)/1e9 }')
+par_s=$(awk -v a="$t1" -v b="$t2" 'BEGIN { printf "%.3f", (b-a)/1e9 }')
+speedup=$(awk -v s="$serial_s" -v p="$par_s" 'BEGIN { printf "%.2f", s/p }')
+
+identical=true
+if ! cmp -s "$tmp/serial.json" "$tmp/par.json"; then
+    identical=false
+    echo "FAIL: serial and jobs=4 suite output diverge" >&2
+fi
+echo "serial ${serial_s}s, jobs=4 ${par_s}s (speedup ${speedup}x), identical=$identical"
+
+ncpu=$(nproc 2>/dev/null || echo 1)
+cat > "$out" <<EOF
+{
+  "pr": 3,
+  "generated": "$(date -u +%FT%TZ)",
+  "host": {
+    "cpus": $ncpu,
+    "go": "$(go env GOVERSION)"
+  },
+  "suite": {
+    "command": "bfbench -quick -format json",
+    "serial_seconds": $serial_s,
+    "jobs4_seconds": $par_s,
+    "speedup": $speedup,
+    "output_identical": $identical,
+    "note": "cells are independent machines, so the jobs=4 speedup scales with host CPUs; this run used a ${ncpu}-CPU host"
+  },
+  "benchmarks_ns_per_op": {
+    "BenchmarkTranslate": $ns_translate,
+    "BenchmarkMachineRun/Baseline": $ns_run_base,
+    "BenchmarkMachineRun/BabelFish": $ns_run_bf,
+    "BenchmarkTLBLookup": $ns_tlb,
+    "BenchmarkTranslateWalk": $ns_walk
+  },
+  "before_this_pr_ns_per_op": {
+    "note": "measured at the pre-PR tree (commit 184cc55), same host, -benchtime 1s",
+    "BenchmarkTLBLookup": 12.04,
+    "BenchmarkTranslateWalk": 171.5
+  }
+}
+EOF
+echo "wrote $out"
+[ "$identical" = true ]
