@@ -12,7 +12,7 @@ test:
 race:
 	$(GO) test -race ./internal/experiments/... ./internal/sim/...
 
-# Regenerate BENCH_3.json: hot-path ns/op plus suite wall-clock serial
+# Regenerate BENCH_4.json: hot-path ns/op plus suite wall-clock serial
 # vs jobs=4, failing if the parallel output is not byte-identical.
 bench:
-	./scripts/bench.sh BENCH_3.json
+	./scripts/bench.sh BENCH_4.json

@@ -9,6 +9,9 @@
 //	      [-cores N] [-containers N] [-scale F] [-warm N] [-measure N] [-seed N]
 //	      [-audit] [-failnth N] [-failseed N] [-jobs N] [-cpuprofile FILE]
 //	      [-metrics-out FILE] [-sample-every N] [-trace N]
+//	      [-inject-mem tlb,pwc,cache,dram|all] [-inject-mem-nth N] [-inject-mem-prob P]
+//	      [-inject-mem-seed N] [-inject-mem-after N] [-inject-mem-max N]
+//	      [-inject-mem-mode drop|poison]
 //
 // -audit cross-checks the allocator's refcounts against the kernel's page
 // tables — and every valid TLB entry against a live PTE — after each run
@@ -16,6 +19,18 @@
 // fault injector that fails every Nth frame allocation from prefault
 // onwards (memory-pressure chaos; pair it with -audit to verify the
 // kernel absorbed the failures cleanly).
+//
+// -inject-mem installs deterministic fault injectors at the named
+// memory-system seams (comma-separated: tlb, pwc, cache, dram, or all)
+// for the warm and measured phases. The policy comes from the
+// -inject-mem-* flags: every Nth device event, or each event with
+// probability P, starting after the first -inject-mem-after events and
+// capped at -inject-mem-max faults (0 = unlimited). The default mode,
+// drop, discards the faulted lookup/line so the machine re-derives it —
+// always absorbed, so it composes with -audit. Mode poison (TLB target
+// only) corrupts the hit entry's identity tags in place instead; pair it
+// with -audit to watch the TLB audit catch the corruption (the run then
+// deliberately exits non-zero).
 //
 // -jobs N simulates the architectures of -arch both on N workers (0 =
 // GOMAXPROCS). Each run owns its machine, so the results and the printed
@@ -37,10 +52,12 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"sync"
 
 	"babelfish"
 	"babelfish/internal/faultinject"
+	"babelfish/internal/memsys"
 	"babelfish/internal/metrics"
 	"babelfish/internal/physmem"
 	"babelfish/internal/telemetry"
@@ -78,6 +95,14 @@ func run() int {
 		cpuprofile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
 		metricsOut  = flag.String("metrics-out", "", "write a JSON telemetry report to this file")
 		sampleEvery = flag.Uint64("sample-every", 0, "sample the metric registry every N simulated cycles (requires -metrics-out)")
+
+		injectMem      = flag.String("inject-mem", "", "inject memory-system faults at these seams (comma-separated: tlb, pwc, cache, dram, all)")
+		injectMemNth   = flag.Uint64("inject-mem-nth", 0, "inject on every Nth device event (0 = off)")
+		injectMemProb  = flag.Float64("inject-mem-prob", 0, "inject each device event with this probability (0 = off)")
+		injectMemSeed  = flag.Uint64("inject-mem-seed", 1, "memory-fault injector seed")
+		injectMemAfter = flag.Uint64("inject-mem-after", 0, "suppress injection for the first N device events")
+		injectMemMax   = flag.Uint64("inject-mem-max", 0, "cap total injected faults per seam (0 = unlimited)")
+		injectMemMode  = flag.String("inject-mem-mode", "drop", "what an injected fault does: drop (absorbed) or poison (TLB only; caught by -audit)")
 	)
 	flag.Parse()
 
@@ -126,7 +151,39 @@ func run() int {
 		if f.Name == "failseed" && *failNth == 0 {
 			usageErr("-failseed has no effect without -failnth")
 		}
+		if strings.HasPrefix(f.Name, "inject-mem-") && *injectMem == "" {
+			usageErr("-%s has no effect without -inject-mem", f.Name)
+		}
 	})
+	var memTargets memsys.Target
+	var memCfg memsys.InjectConfig
+	if *injectMem != "" {
+		var err error
+		if memTargets, err = memsys.ParseTargets(*injectMem); err != nil {
+			usageErr("%v", err)
+		}
+		if *injectMemNth == 0 && *injectMemProb == 0 {
+			usageErr("-inject-mem needs a policy: set -inject-mem-nth and/or -inject-mem-prob")
+		}
+		if *injectMemProb < 0 || *injectMemProb >= 1 {
+			usageErr("-inject-mem-prob must be in [0, 1)")
+		}
+		mode := memsys.ModeDrop
+		switch *injectMemMode {
+		case "drop":
+		case "poison":
+			mode = memsys.ModePoison
+			if memTargets != memsys.TargetTLB {
+				usageErr("-inject-mem-mode poison only applies to the tlb target (got %q)", *injectMem)
+			}
+		default:
+			usageErr("unknown -inject-mem-mode %q (want drop or poison)", *injectMemMode)
+		}
+		memCfg = memsys.InjectConfig{
+			Seed: *injectMemSeed, Nth: *injectMemNth, Prob: *injectMemProb,
+			After: *injectMemAfter, MaxFaults: *injectMemMax, Mode: mode,
+		}
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -197,6 +254,9 @@ func run() int {
 				return
 			}
 		}
+		if memTargets != 0 {
+			m.SetMemInjector(memTargets, memCfg)
+		}
 		if err := m.Run(*warm); err != nil {
 			res.err = err
 			return
@@ -211,8 +271,17 @@ func run() int {
 		ks := m.Kernel.Stats()
 		res.row = []interface{}{name, d.MeanLatency(), d.TailLatency(95), ag.MPKIData(), ag.MPKIInstr(),
 			ag.SharedHitFracD(), ag.SharedHitFracI(), ag.Faults, ks.MinorFaults, ks.CoWFaults}
-		if c := m.Counters(); c.Any() || *audit {
+		c, err := m.Counters()
+		if err != nil {
+			res.err = err
+			return
+		}
+		if c.Any() || *audit {
 			fmt.Fprintf(&res.out, "%s robustness: %s\n", name, c)
+		}
+		if memTargets != 0 {
+			fmt.Fprintf(&res.out, "%s mem-injection (%s, %s): %d faults injected\n",
+				name, memTargets, memCfg.Mode, m.MemInjected())
 		}
 		if *audit {
 			krep := m.Kernel.Audit()

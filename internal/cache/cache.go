@@ -7,44 +7,37 @@
 //
 // Only tags are modelled (no data contents); the simulator's timing and
 // sharing behaviour do not depend on data values.
+//
+// Each level is a memsys.Device and a memsys.Port: the Where type and the
+// Backend interface now live in internal/memsys (aliased here for
+// compatibility), and Access carries the access kind so injection
+// wrappers and telemetry can distinguish fetches, data and walks.
 package cache
 
 import (
 	"fmt"
+	"strings"
 
 	"babelfish/internal/memdefs"
+	"babelfish/internal/memsys"
+	"babelfish/internal/telemetry"
 )
 
 // Where identifies the level that ultimately served an access.
-type Where int
+// It is an alias of memsys.Where.
+type Where = memsys.Where
 
 const (
-	WhereSelf Where = iota // hit in the cache queried (used internally)
-	WhereL1
-	WhereL2
-	WhereL3
-	WhereMem
+	WhereSelf = memsys.WhereSelf
+	WhereL1   = memsys.WhereL1
+	WhereL2   = memsys.WhereL2
+	WhereL3   = memsys.WhereL3
+	WhereMem  = memsys.WhereMem
 )
 
-func (w Where) String() string {
-	switch w {
-	case WhereL1:
-		return "L1"
-	case WhereL2:
-		return "L2"
-	case WhereL3:
-		return "L3"
-	case WhereMem:
-		return "Mem"
-	}
-	return fmt.Sprintf("Where(%d)", int(w))
-}
-
 // Backend is anything that can serve a physical memory access and report
-// the latency and the level that served it.
-type Backend interface {
-	Access(pa memdefs.PAddr, write bool) (memdefs.Cycles, Where)
-}
+// the latency and the level that served it. It is an alias of memsys.Port.
+type Backend = memsys.Port
 
 // Config describes one cache level.
 type Config struct {
@@ -116,6 +109,29 @@ func (c *Cache) Stats() Stats { return c.stats }
 // ResetStats zeroes the counters (used between warm-up and measurement).
 func (c *Cache) ResetStats() { c.stats = Stats{} }
 
+// DeviceStats implements memsys.Device.
+func (c *Cache) DeviceStats() memsys.Stats {
+	return memsys.Stats{
+		{Name: "accesses", Unit: "acc", Help: "cache accesses", Value: c.stats.Accesses},
+		{Name: "hits", Unit: "hit", Help: "cache hits", Value: c.stats.Hits},
+		{Name: "misses", Unit: "miss", Help: "cache misses", Value: c.stats.Misses},
+		{Name: "writebacks", Unit: "wb", Help: "dirty lines written back", Value: c.stats.Writebacks},
+	}
+}
+
+// Register installs this level's stats under "cache.<name>".
+func (c *Cache) Register(reg *telemetry.Registry) {
+	memsys.RegisterDevice(reg, "cache."+strings.ToLower(c.cfg.Name), c)
+}
+
+// SetBelow swaps the backing port (nil restores nothing — callers pass the
+// original backend). The machine uses this to interpose a fault-injection
+// port between the L3 and DRAM.
+func (c *Cache) SetBelow(below Backend) { c.below = below }
+
+// Below returns the current backing port.
+func (c *Cache) Below() Backend { return c.below }
+
 func (c *Cache) index(pa memdefs.PAddr) (set int, tag uint64) {
 	blk := uint64(pa) >> c.lineOff
 	return int(blk) & (c.numSets - 1), blk
@@ -123,8 +139,9 @@ func (c *Cache) index(pa memdefs.PAddr) (set int, tag uint64) {
 
 // Access performs a read or write. On a miss the line is fetched from the
 // level below (write-allocate); a dirty victim counts as a writeback but
-// adds no latency (posted writes).
-func (c *Cache) Access(pa memdefs.PAddr, write bool) (memdefs.Cycles, Where) {
+// adds no latency (posted writes). The access kind is passed through to
+// the level below for observers; the cache itself is kind-agnostic.
+func (c *Cache) Access(pa memdefs.PAddr, kind memdefs.AccessKind, write bool) (memdefs.Cycles, Where) {
 	c.stats.Accesses++
 	c.tick++
 	set, tag := c.index(pa)
@@ -140,7 +157,7 @@ func (c *Cache) Access(pa memdefs.PAddr, write bool) (memdefs.Cycles, Where) {
 		}
 	}
 	c.stats.Misses++
-	lat, where := c.below.Access(pa, false)
+	lat, where := c.below.Access(pa, kind, false)
 	// Choose LRU victim.
 	victim := 0
 	for i := 1; i < len(ways); i++ {
@@ -217,21 +234,37 @@ func NewHierarchy(cfg HierarchyConfig, l3 *Cache) *Hierarchy {
 	}
 }
 
+// Access routes a request by kind: instruction fetches through L1I, page
+// walks past the L1 into the unified L2 (as in the paper's Figure 7,
+// where walk requests "miss in the local L2 but hit in the shared L3"),
+// everything else through L1D. This makes the whole hierarchy a
+// memsys.Port, so injection wrappers can interpose on a core's entire
+// memory traffic.
+func (h *Hierarchy) Access(pa memdefs.PAddr, kind memdefs.AccessKind, write bool) (memdefs.Cycles, Where) {
+	switch kind {
+	case memdefs.AccessInstr:
+		return h.L1I.Access(pa, kind, false)
+	case memdefs.AccessWalk:
+		return h.L2.Access(pa, kind, write)
+	default:
+		return h.L1D.Access(pa, kind, write)
+	}
+}
+
 // Data performs a data access through L1D.
 func (h *Hierarchy) Data(pa memdefs.PAddr, write bool) (memdefs.Cycles, Where) {
-	return h.L1D.Access(pa, write)
+	return h.L1D.Access(pa, memdefs.AccessData, write)
 }
 
 // Instr performs an instruction fetch through L1I.
 func (h *Hierarchy) Instr(pa memdefs.PAddr) (memdefs.Cycles, Where) {
-	return h.L1I.Access(pa, false)
+	return h.L1I.Access(pa, memdefs.AccessInstr, false)
 }
 
 // Walker performs a page-walker access; walkers bypass the L1 and go to
-// the unified L2 (as in the paper's Figure 7, where walk requests "miss in
-// the local L2 but hit in the shared L3").
+// the unified L2.
 func (h *Hierarchy) Walker(pa memdefs.PAddr, write bool) (memdefs.Cycles, Where) {
-	return h.L2.Access(pa, write)
+	return h.L2.Access(pa, memdefs.AccessWalk, write)
 }
 
 // ResetStats clears all three private levels.
@@ -240,3 +273,9 @@ func (h *Hierarchy) ResetStats() {
 	h.L1D.ResetStats()
 	h.L2.ResetStats()
 }
+
+var (
+	_ memsys.Port   = (*Cache)(nil)
+	_ memsys.Port   = (*Hierarchy)(nil)
+	_ memsys.Device = (*Cache)(nil)
+)

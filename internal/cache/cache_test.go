@@ -12,7 +12,7 @@ type fakeMem struct {
 	accesses int
 }
 
-func (f *fakeMem) Access(pa memdefs.PAddr, write bool) (memdefs.Cycles, Where) {
+func (f *fakeMem) Access(pa memdefs.PAddr, kind memdefs.AccessKind, write bool) (memdefs.Cycles, Where) {
 	f.accesses++
 	return f.lat, WhereMem
 }
@@ -27,20 +27,20 @@ func small(t *testing.T, below Backend) *Cache {
 func TestHitAfterMiss(t *testing.T) {
 	mem := &fakeMem{lat: 100}
 	c := small(t, mem)
-	lat, where := c.Access(0x1000, false)
+	lat, where := c.Access(0x1000, memdefs.AccessData, false)
 	if where != WhereMem || lat != 102 {
 		t.Fatalf("first access: lat=%d where=%v", lat, where)
 	}
-	lat, where = c.Access(0x1000, false)
+	lat, where = c.Access(0x1000, memdefs.AccessData, false)
 	if where != WhereL1 || lat != 2 {
 		t.Fatalf("second access: lat=%d where=%v", lat, where)
 	}
 	// Same line, different byte: still a hit.
-	if _, where = c.Access(0x103F, false); where != WhereL1 {
+	if _, where = c.Access(0x103F, memdefs.AccessData, false); where != WhereL1 {
 		t.Fatal("same-line access missed")
 	}
 	// Next line: miss.
-	if _, where = c.Access(0x1040, false); where != WhereMem {
+	if _, where = c.Access(0x1040, memdefs.AccessData, false); where != WhereMem {
 		t.Fatal("next-line access hit")
 	}
 	st := c.Stats()
@@ -55,17 +55,17 @@ func TestLRUAndWriteback(t *testing.T) {
 	base := memdefs.PAddr(0)
 	conflict1 := base + 2048
 	conflict2 := base + 4096
-	c.Access(base, true) // dirty
-	c.Access(conflict1, false)
-	c.Access(base, false)      // touch base so conflict1 is LRU
-	c.Access(conflict2, false) // evicts conflict1 (clean, no writeback)
+	c.Access(base, memdefs.AccessData, true) // dirty
+	c.Access(conflict1, memdefs.AccessData, false)
+	c.Access(base, memdefs.AccessData, false)      // touch base so conflict1 is LRU
+	c.Access(conflict2, memdefs.AccessData, false) // evicts conflict1 (clean, no writeback)
 	if c.Stats().Writebacks != 0 {
 		t.Fatal("clean eviction counted as writeback")
 	}
 	// Now evict base (dirty): write it back.
-	c.Access(conflict1, false) // evicts... base is MRU? order: base, conflict2 in set
-	c.Access(conflict2, false)
-	c.Access(conflict1, false)
+	c.Access(conflict1, memdefs.AccessData, false) // evicts... base is MRU? order: base, conflict2 in set
+	c.Access(conflict2, memdefs.AccessData, false)
+	c.Access(conflict1, memdefs.AccessData, false)
 	if c.Stats().Writebacks == 0 {
 		t.Fatal("dirty eviction produced no writeback")
 	}
@@ -74,7 +74,7 @@ func TestLRUAndWriteback(t *testing.T) {
 func TestContainsAndInvalidate(t *testing.T) {
 	mem := &fakeMem{lat: 50}
 	c := small(t, mem)
-	c.Access(0x2000, false)
+	c.Access(0x2000, memdefs.AccessData, false)
 	if !c.Contains(0x2000) || c.Contains(0x4000) {
 		t.Fatal("Contains wrong")
 	}

@@ -5,8 +5,9 @@
 package dram
 
 import (
-	"babelfish/internal/cache"
 	"babelfish/internal/memdefs"
+	"babelfish/internal/memsys"
+	"babelfish/internal/telemetry"
 )
 
 // Config describes the memory organization and timing.
@@ -70,10 +71,27 @@ func (d *DRAM) Stats() Stats { return d.stats }
 // ResetStats zeroes the counters.
 func (d *DRAM) ResetStats() { d.stats = Stats{} }
 
-// Access implements cache.Backend. Bank is selected by low address bits
+// Name implements memsys.Device.
+func (d *DRAM) Name() string { return "dram" }
+
+// DeviceStats implements memsys.Device.
+func (d *DRAM) DeviceStats() memsys.Stats {
+	return memsys.Stats{
+		{Name: "reads", Unit: "req", Help: "DRAM reads", Value: d.stats.Reads},
+		{Name: "writes", Unit: "req", Help: "DRAM writes", Value: d.stats.Writes},
+		{Name: "row_hits", Unit: "hit", Help: "row-buffer hits", Value: d.stats.RowHits},
+		{Name: "row_misses", Unit: "miss", Help: "row-buffer misses", Value: d.stats.RowMisses},
+	}
+}
+
+// Register installs the DRAM stats under "dram".
+func (d *DRAM) Register(reg *telemetry.Registry) { memsys.RegisterDevice(reg, d.Name(), d) }
+
+// Access implements memsys.Port. Bank is selected by low address bits
 // above the row offset (so consecutive rows interleave across banks);
-// the row index is the address divided by row size.
-func (d *DRAM) Access(pa memdefs.PAddr, write bool) (memdefs.Cycles, cache.Where) {
+// the row index is the address divided by row size. The access kind does
+// not affect DRAM timing.
+func (d *DRAM) Access(pa memdefs.PAddr, _ memdefs.AccessKind, write bool) (memdefs.Cycles, memsys.Where) {
 	if write {
 		d.stats.Writes++
 	} else {
@@ -84,11 +102,14 @@ func (d *DRAM) Access(pa memdefs.PAddr, write bool) (memdefs.Cycles, cache.Where
 	globalRow := row / int64(d.numBanks)
 	if d.openRow[bank] == globalRow {
 		d.stats.RowHits++
-		return d.cfg.RowHit, cache.WhereMem
+		return d.cfg.RowHit, memsys.WhereMem
 	}
 	d.stats.RowMisses++
 	d.openRow[bank] = globalRow
-	return d.cfg.RowMiss, cache.WhereMem
+	return d.cfg.RowMiss, memsys.WhereMem
 }
 
-var _ cache.Backend = (*DRAM)(nil)
+var (
+	_ memsys.Port   = (*DRAM)(nil)
+	_ memsys.Device = (*DRAM)(nil)
+)

@@ -3,23 +3,23 @@ package dram
 import (
 	"testing"
 
-	"babelfish/internal/cache"
 	"babelfish/internal/memdefs"
+	"babelfish/internal/memsys"
 )
 
 func TestRowBufferHitMiss(t *testing.T) {
 	d := New(DefaultConfig())
 	cfg := DefaultConfig()
 
-	lat1, where := d.Access(0x1000, false)
-	if where != cache.WhereMem {
+	lat1, where := d.Access(0x1000, memdefs.AccessData, false)
+	if where != memsys.WhereMem {
 		t.Fatalf("where = %v", where)
 	}
 	if lat1 != cfg.RowMiss {
 		t.Fatalf("first access lat %d, want row miss %d", lat1, cfg.RowMiss)
 	}
 	// Same row: row-buffer hit.
-	lat2, _ := d.Access(0x1040, false)
+	lat2, _ := d.Access(0x1040, memdefs.AccessData, false)
 	if lat2 != cfg.RowHit {
 		t.Fatalf("same-row access lat %d, want %d", lat2, cfg.RowHit)
 	}
@@ -28,7 +28,7 @@ func TestRowBufferHitMiss(t *testing.T) {
 	// numBanks rows.
 	numBanks := cfg.Channels * cfg.RanksPerChan * cfg.BanksPerRank
 	conflict := memdefs.PAddr(uint64(cfg.RowBytes) * uint64(numBanks))
-	lat3, _ := d.Access(conflict+0x1000, false)
+	lat3, _ := d.Access(conflict+0x1000, memdefs.AccessData, false)
 	if lat3 != cfg.RowMiss {
 		t.Fatalf("bank-conflict access lat %d, want %d", lat3, cfg.RowMiss)
 	}
@@ -45,10 +45,10 @@ func TestBankInterleaving(t *testing.T) {
 	// two adjacent rows should not thrash a single row buffer.
 	rowA := memdefs.PAddr(0)
 	rowB := memdefs.PAddr(cfg.RowBytes)
-	d.Access(rowA, false)
-	d.Access(rowB, false)
-	latA, _ := d.Access(rowA+64, false)
-	latB, _ := d.Access(rowB+64, true)
+	d.Access(rowA, memdefs.AccessData, false)
+	d.Access(rowB, memdefs.AccessData, false)
+	latA, _ := d.Access(rowA+64, memdefs.AccessData, false)
+	latB, _ := d.Access(rowB+64, memdefs.AccessData, true)
 	if latA != cfg.RowHit || latB != cfg.RowHit {
 		t.Fatalf("interleaved rows missed: %d %d", latA, latB)
 	}
@@ -59,7 +59,7 @@ func TestBankInterleaving(t *testing.T) {
 
 func TestResetStats(t *testing.T) {
 	d := New(DefaultConfig())
-	d.Access(0, false)
+	d.Access(0, memdefs.AccessData, false)
 	d.ResetStats()
 	if s := d.Stats(); s.Reads != 0 || s.RowMisses != 0 {
 		t.Fatalf("stats after reset: %+v", s)

@@ -176,17 +176,22 @@ const (
 	PCBitmaskBits = 32
 )
 
-// AccessKind distinguishes instruction fetches from data accesses.
+// AccessKind distinguishes instruction fetches, data accesses and
+// page-walker references to page-table entries.
 type AccessKind int
 
 const (
 	AccessData AccessKind = iota
 	AccessInstr
+	AccessWalk
 )
 
 func (k AccessKind) String() string {
-	if k == AccessInstr {
+	switch k {
+	case AccessInstr:
 		return "instr"
+	case AccessWalk:
+		return "walk"
 	}
 	return "data"
 }

@@ -1,0 +1,38 @@
+package memsys
+
+import "babelfish/internal/memdefs"
+
+// FaultPort interposes a deterministic injector on a memory port. When
+// the injector fires, the delivered line is treated as flipped: the model
+// is ECC detection followed by a refetch, so the access is served again
+// through the same port and the extra latency is charged. Corrupt data
+// never reaches the requester — cache/DRAM injection is absorbed by
+// construction, which is what the chaos sweeps assert.
+type FaultPort struct {
+	below Port
+	inj   *Injector
+}
+
+// NewFaultPort wraps below with the given injector.
+func NewFaultPort(below Port, inj *Injector) *FaultPort {
+	return &FaultPort{below: below, inj: inj}
+}
+
+// Access serves the request through the wrapped port, refetching once if
+// the injector flips the delivered line.
+func (f *FaultPort) Access(pa memdefs.PAddr, kind memdefs.AccessKind, write bool) (memdefs.Cycles, Where) {
+	lat, where := f.below.Access(pa, kind, write)
+	if f.inj.Fire() {
+		rlat, rwhere := f.below.Access(pa, kind, write)
+		return lat + rlat, rwhere
+	}
+	return lat, where
+}
+
+// Injected returns how many lines this port has flipped.
+func (f *FaultPort) Injected() uint64 { return f.inj.Injected() }
+
+// Below returns the wrapped port.
+func (f *FaultPort) Below() Port { return f.below }
+
+var _ Port = (*FaultPort)(nil)

@@ -1,0 +1,163 @@
+package memsys
+
+import "testing"
+
+// drain runs n Fire() calls and returns the fired sequence numbers.
+func drain(in *Injector, n uint64) []uint64 {
+	var fired []uint64
+	for i := uint64(0); i < n; i++ {
+		if in.Fire() {
+			fired = append(fired, in.Seq())
+		}
+	}
+	return fired
+}
+
+func TestInjectorNth(t *testing.T) {
+	in := NewInjector(InjectConfig{Nth: 3})
+	fired := drain(in, 10)
+	want := []uint64{3, 6, 9}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+	if in.Injected() != 3 || in.Seq() != 10 {
+		t.Fatalf("injected=%d seq=%d, want 3 and 10", in.Injected(), in.Seq())
+	}
+}
+
+func TestInjectorAfterGate(t *testing.T) {
+	in := NewInjector(InjectConfig{Nth: 1, After: 5})
+	fired := drain(in, 10)
+	if len(fired) != 5 || fired[0] != 6 {
+		t.Fatalf("After=5 Nth=1 fired %v, want events 6..10", fired)
+	}
+}
+
+func TestInjectorMaxFaultsCap(t *testing.T) {
+	in := NewInjector(InjectConfig{Nth: 2, MaxFaults: 3})
+	drain(in, 100)
+	if in.Injected() != 3 {
+		t.Fatalf("injected %d faults, MaxFaults=3", in.Injected())
+	}
+	if in.Seq() != 100 {
+		t.Fatalf("seq stopped advancing at %d", in.Seq())
+	}
+}
+
+func TestInjectorProbDeterministicAndSeeded(t *testing.T) {
+	const n = 10_000
+	a := NewInjector(InjectConfig{Seed: 1, Prob: 0.1})
+	b := NewInjector(InjectConfig{Seed: 1, Prob: 0.1})
+	fa, fb := drain(a, n), drain(b, n)
+	if len(fa) != len(fb) {
+		t.Fatalf("same seed diverged: %d vs %d faults", len(fa), len(fb))
+	}
+	for i := range fa {
+		if fa[i] != fb[i] {
+			t.Fatalf("same seed diverged at fault %d: seq %d vs %d", i, fa[i], fb[i])
+		}
+	}
+	// Rate is within a loose band around 10%.
+	if len(fa) < n/20 || len(fa) > n/5 {
+		t.Fatalf("Prob=0.1 fired %d/%d times", len(fa), n)
+	}
+	// A different seed gives a different pattern.
+	c := NewInjector(InjectConfig{Seed: 2, Prob: 0.1})
+	fc := drain(c, n)
+	same := len(fc) == len(fa)
+	if same {
+		for i := range fa {
+			if fa[i] != fc[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("seeds 1 and 2 produced identical fault patterns")
+	}
+}
+
+func TestInjectorNthAndProbCompose(t *testing.T) {
+	// Nth alone fires exactly n/Nth times; adding Prob can only add faults.
+	nthOnly := NewInjector(InjectConfig{Nth: 100})
+	both := NewInjector(InjectConfig{Seed: 7, Nth: 100, Prob: 0.05})
+	a, b := drain(nthOnly, 1000), drain(both, 1000)
+	if len(b) <= len(a) {
+		t.Fatalf("Nth+Prob fired %d times, Nth alone %d — Prob added nothing", len(b), len(a))
+	}
+}
+
+func TestInjectorNilSafe(t *testing.T) {
+	var in *Injector
+	if in.Fire() {
+		t.Fatal("nil injector fired")
+	}
+	if in.Injected() != 0 || in.Seq() != 0 || in.Mode() != ModeDrop {
+		t.Fatal("nil injector reports non-zero state")
+	}
+}
+
+func TestInjectConfigEnabled(t *testing.T) {
+	if (InjectConfig{}).Enabled() {
+		t.Fatal("zero config claims enabled")
+	}
+	if !(InjectConfig{Nth: 1}).Enabled() || !(InjectConfig{Prob: 0.5}).Enabled() {
+		t.Fatal("non-zero Nth/Prob not enabled")
+	}
+	// A disabled config's injector never fires.
+	in := NewInjector(InjectConfig{Seed: 9, After: 3})
+	if f := drain(in, 50); len(f) != 0 {
+		t.Fatalf("disabled injector fired at %v", f)
+	}
+}
+
+func TestParseTargets(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Target
+	}{
+		{"tlb", TargetTLB},
+		{"TLB", TargetTLB},
+		{"tlb,cache", TargetTLB | TargetCache},
+		{"pwc, dram", TargetPWC | TargetDRAM},
+		{"all", TargetAll},
+		{"tlb,all", TargetAll},
+	} {
+		got, err := ParseTargets(tc.in)
+		if err != nil {
+			t.Fatalf("ParseTargets(%q): %v", tc.in, err)
+		}
+		if got != tc.want {
+			t.Fatalf("ParseTargets(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	for _, bad := range []string{"", ",", "l2tlb", "tlb,bogus"} {
+		if _, err := ParseTargets(bad); err == nil {
+			t.Fatalf("ParseTargets(%q) accepted", bad)
+		}
+	}
+}
+
+func TestTargetString(t *testing.T) {
+	if s := (TargetTLB | TargetDRAM).String(); s != "dram,tlb" {
+		t.Fatalf("String() = %q, want sorted %q", s, "dram,tlb")
+	}
+	if s := Target(0).String(); s != "none" {
+		t.Fatalf("zero target String() = %q", s)
+	}
+	if s := TargetAll.String(); s != "cache,dram,pwc,tlb" {
+		t.Fatalf("all targets String() = %q", s)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeDrop.String() != "drop" || ModePoison.String() != "poison" {
+		t.Fatalf("mode strings: %q %q", ModeDrop, ModePoison)
+	}
+}

@@ -16,11 +16,12 @@ import (
 	"errors"
 	"fmt"
 
-	"babelfish/internal/cache"
 	"babelfish/internal/memdefs"
+	"babelfish/internal/memsys"
 	"babelfish/internal/pgtable"
 	"babelfish/internal/physmem"
 	"babelfish/internal/pwc"
+	"babelfish/internal/telemetry"
 	"babelfish/internal/tlb"
 )
 
@@ -87,18 +88,34 @@ type Stats struct {
 
 	// Where walk memory requests were served.
 	WalkReqL2, WalkReqL3, WalkReqMem, WalkReqPWC uint64
+
+	// Memory-system fault injection (memsys.Injector seams).
+	InjTLBDrops   uint64 // TLB hits discarded (forced re-lookup/walk)
+	InjTLBPoisons uint64 // TLB entry tags corrupted in place
+	InjPWCDrops   uint64 // PWC hits discarded (forced table refetch)
 }
 
 // MMU is one core's translation unit.
 type MMU struct {
-	cfg  Config
-	L1D  *tlb.Group
-	L1I  *tlb.Group
-	L2   *tlb.Group
-	PWC  *pwc.PWC
-	Mem  *physmem.Memory
-	Hier *cache.Hierarchy
-	OS   OS
+	cfg Config
+	L1D *tlb.Group
+	L1I *tlb.Group
+	L2  *tlb.Group
+	PWC *pwc.PWC
+	Mem *physmem.Memory
+	OS  OS
+
+	// port is where the hardware walker issues its physical accesses —
+	// normally the core's cache hierarchy, optionally wrapped by a
+	// memsys.FaultPort.
+	port memsys.Port
+
+	// tlbInj/pwcInj, when non-nil, inject deterministic lookup faults
+	// (see memsys.Injector). TLB injection supports drop and poison;
+	// PWC injection is drop-only (a PWC holds no identity to poison —
+	// a corrupt cached entry is modelled as a detected drop + refetch).
+	tlbInj *memsys.Injector
+	pwcInj *memsys.Injector
 
 	stats Stats
 	// scratch receives resolution details for TranslateInto(nil) callers.
@@ -106,7 +123,9 @@ type MMU struct {
 }
 
 // New builds an MMU with Table I structures for the given configuration.
-func New(cfg Config, mem *physmem.Memory, hier *cache.Hierarchy, os OS) *MMU {
+// port is the memory port the page walker uses (a core's cache hierarchy
+// in the real machine).
+func New(cfg Config, mem *physmem.Memory, port memsys.Port, os OS) *MMU {
 	l1Mode, l2Mode := tlb.TagPCID, tlb.TagPCID
 	if cfg.BabelFish {
 		l2Mode = tlb.TagCCID
@@ -126,7 +145,7 @@ func New(cfg Config, mem *physmem.Memory, hier *cache.Hierarchy, os OS) *MMU {
 		L2:   tlb.NewGroup(tlb.L2Config(l2Mode, cfg.LargerL2 && !cfg.BabelFish)),
 		PWC:  pwc.New(pwc.DefaultConfig()),
 		Mem:  mem,
-		Hier: hier,
+		port: port,
 		OS:   os,
 	}
 }
@@ -145,6 +164,69 @@ func (m *MMU) ResetStats() {
 	m.L2.ResetStats()
 	m.PWC.ResetStats()
 }
+
+// Port returns the memory port the walker currently uses.
+func (m *MMU) Port() memsys.Port { return m.port }
+
+// SetPort swaps the walker's memory port (the machine interposes a
+// fault-injection wrapper here).
+func (m *MMU) SetPort(p memsys.Port) { m.port = p }
+
+// SetTLBInjector installs (or, with nil, removes) the TLB lookup-fault
+// injector. Fired on every TLB hit, it either drops the hit (re-lookup
+// downstream, absorbed) or — in poison mode — flips the hit entry's
+// identity tags in place: the entry can never legitimately hit again, and
+// it now claims a PCID/CCID outside the architected range, which the TLB
+// audit must flag as an ownership violation. The translated frame is
+// untouched either way, so a wrong translation can never be delivered.
+func (m *MMU) SetTLBInjector(in *memsys.Injector) { m.tlbInj = in }
+
+// SetPWCInjector installs (or removes) the PWC lookup-fault injector
+// (drop-only: a fired hit is refetched from the cache hierarchy).
+func (m *MMU) SetPWCInjector(in *memsys.Injector) { m.pwcInj = in }
+
+// InjectedMemFaults returns the lifetime count of injected TLB/PWC
+// lookup faults (not reset by ResetStats — it counts the whole run).
+func (m *MMU) InjectedMemFaults() uint64 {
+	return m.tlbInj.Injected() + m.pwcInj.Injected()
+}
+
+// Name implements memsys.Device.
+func (m *MMU) Name() string { return "mmu" }
+
+// DeviceStats implements memsys.Device: the per-MMU translation counters
+// as named stats (child devices — TLB groups, PWC — report their own).
+func (m *MMU) DeviceStats() memsys.Stats {
+	s := &m.stats
+	return memsys.Stats{
+		{Name: "translations", Unit: "xlat", Help: "translations performed", Value: s.Translations},
+		{Name: "l1_hits", Unit: "hit", Help: "L1 TLB hits", Value: s.L1Hits},
+		{Name: "l2_hits", Unit: "hit", Help: "L2 TLB hits", Value: s.L2Hits},
+		{Name: "l2_misses", Unit: "miss", Help: "L2 TLB misses", Value: s.L2Misses},
+		{Name: "walks", Unit: "walk", Help: "hardware page walks", Value: s.Walks},
+		{Name: "faults", Unit: "fault", Help: "page faults raised to the kernel", Value: s.Faults},
+		{Name: "fault_cycles", Unit: "cyc", Help: "kernel fault-handling cycles", Value: uint64(s.FaultCycles)},
+		{Name: "xlat_cycles", Unit: "cyc", Help: "total translation cycles", Value: uint64(s.TotalCycles)},
+		{Name: "l2_miss_data", Unit: "miss", Help: "L2 TLB data misses", Value: s.L2MissData},
+		{Name: "l2_miss_instr", Unit: "miss", Help: "L2 TLB instruction misses", Value: s.L2MissInstr},
+		{Name: "l2_hit_data", Unit: "hit", Help: "L2 TLB data hits", Value: s.L2HitData},
+		{Name: "l2_hit_instr", Unit: "hit", Help: "L2 TLB instruction hits", Value: s.L2HitInstr},
+		{Name: "l2_shared_data", Unit: "hit", Help: "L2 TLB data hits on another process's entry", Value: s.L2SharedData},
+		{Name: "l2_shared_instr", Unit: "hit", Help: "L2 TLB instruction hits on another process's entry", Value: s.L2SharedInstr},
+		{Name: "walk_req_pwc", Unit: "req", Help: "walk requests served by the PWC", Value: s.WalkReqPWC},
+		{Name: "walk_req_l2", Unit: "req", Help: "walk requests served by the L2 cache", Value: s.WalkReqL2},
+		{Name: "walk_req_l3", Unit: "req", Help: "walk requests served by the L3 cache", Value: s.WalkReqL3},
+		{Name: "walk_req_mem", Unit: "req", Help: "walk requests served by DRAM", Value: s.WalkReqMem},
+		{Name: "inj_tlb_drops", Unit: "fault", Help: "injected TLB hit drops", Value: s.InjTLBDrops},
+		{Name: "inj_tlb_poisons", Unit: "fault", Help: "injected TLB tag poisonings", Value: s.InjTLBPoisons},
+		{Name: "inj_pwc_drops", Unit: "fault", Help: "injected PWC hit drops", Value: s.InjPWCDrops},
+	}
+}
+
+// Register installs the MMU stats under "mmu".
+func (m *MMU) Register(reg *telemetry.Registry) { memsys.RegisterDevice(reg, m.Name(), m) }
+
+var _ memsys.Device = (*MMU)(nil)
 
 // Errors surfaced by translation.
 var (
@@ -205,6 +287,14 @@ func (m *MMU) TranslateInto(ctx *Ctx, va memdefs.VAddr, write bool, kind memdefs
 		}
 		r1 := l1.Lookup(va, q)
 		cycles += r1.Lat
+		if r1.Res == tlb.Hit && m.tlbInj != nil && m.tlbInj.Fire() {
+			// Injected lookup fault: the hit is not trusted. Drop mode
+			// discards it (the L2/walk below re-derives the translation);
+			// poison mode corrupts the entry's tags for the audit to find.
+			m.corruptTLBHit(r1.Entry)
+			r1.Res = tlb.Miss
+			r1.Entry = nil
+		}
 		switch r1.Res {
 		case tlb.Hit:
 			m.stats.L1Hits++
@@ -246,6 +336,11 @@ func (m *MMU) TranslateInto(ctx *Ctx, va memdefs.VAddr, write bool, kind memdefs
 		// --- L2 TLB, probed with the group's shared virtual address.
 		r2 := m.L2.Lookup(sva, q)
 		cycles += r2.Lat
+		if r2.Res == tlb.Hit && m.tlbInj != nil && m.tlbInj.Fire() {
+			m.corruptTLBHit(r2.Entry)
+			r2.Res = tlb.Miss
+			r2.Entry = nil
+		}
 		switch r2.Res {
 		case tlb.Hit:
 			m.stats.L2Hits++
@@ -302,6 +397,26 @@ func (m *MMU) TranslateInto(ctx *Ctx, va memdefs.VAddr, write bool, kind memdefs
 	return 0, cycles, fmt.Errorf("%w: pid %d va %#x", ErrRetries, ctx.PID, va)
 }
 
+// poisonTag is OR-ed into a poisoned entry's PCID and CCID: it sits just
+// above the architected 12-bit ID ranges, so the corrupted entry can never
+// match a live process or container group — it can never hit again (no
+// wrong translation is ever delivered), but it now claims a nonexistent
+// owner, which the TLB/PTE cross-check audit must flag.
+const poisonTag = 1 << memdefs.PCIDBits
+
+// corruptTLBHit applies the injected fault to a hit entry: poison flips
+// its identity tags in place; drop just discards the lookup result (the
+// caller forces a miss either way).
+func (m *MMU) corruptTLBHit(e *tlb.Entry) {
+	if m.tlbInj.Mode() == memsys.ModePoison {
+		e.PCID |= poisonTag
+		e.CCID |= poisonTag
+		m.stats.InjTLBPoisons++
+		return
+	}
+	m.stats.InjTLBDrops++
+}
+
 // fault invokes the OS handler and accounts it.
 func (m *MMU) fault(ctx *Ctx, va memdefs.VAddr, write bool, kind memdefs.AccessKind, info *Info) (memdefs.Cycles, error) {
 	m.stats.Faults++
@@ -332,11 +447,17 @@ func (m *MMU) walk(ctx *Ctx, l1 *tlb.Group, va, sva memdefs.VAddr, write bool, k
 		if pwc.Caches(lvl) {
 			val, hit, plat := m.PWC.Lookup(lvl, entryAddr)
 			cycles += plat
+			if hit && m.pwcInj != nil && m.pwcInj.Fire() {
+				// Injected PWC fault: the cached entry is not trusted;
+				// refetch it from the memory hierarchy (absorbed).
+				m.stats.InjPWCDrops++
+				hit = false
+			}
 			if hit {
 				m.stats.WalkReqPWC++
 				e = pgtable.Entry(val)
 			} else {
-				clat, where := m.Hier.Walker(entryAddr, false)
+				clat, where := m.port.Access(entryAddr, memdefs.AccessWalk, false)
 				cycles += clat
 				info.WalkMemAcc++
 				m.countWalkWhere(where)
@@ -349,7 +470,7 @@ func (m *MMU) walk(ctx *Ctx, l1 *tlb.Group, va, sva memdefs.VAddr, write bool, k
 				}
 			}
 		} else {
-			clat, where := m.Hier.Walker(entryAddr, false)
+			clat, where := m.port.Access(entryAddr, memdefs.AccessWalk, false)
 			cycles += clat
 			info.WalkMemAcc++
 			m.countWalkWhere(where)
@@ -447,13 +568,13 @@ func (m *MMU) walk(ctx *Ctx, l1 *tlb.Group, va, sva memdefs.VAddr, write bool, k
 	return ppn, cycles, true, nil
 }
 
-func (m *MMU) countWalkWhere(w cache.Where) {
+func (m *MMU) countWalkWhere(w memsys.Where) {
 	switch w {
-	case cache.WhereL2:
+	case memsys.WhereL2:
 		m.stats.WalkReqL2++
-	case cache.WhereL3:
+	case memsys.WhereL3:
 		m.stats.WalkReqL3++
-	case cache.WhereMem:
+	case memsys.WhereMem:
 		m.stats.WalkReqMem++
 	}
 }

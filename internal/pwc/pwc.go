@@ -11,6 +11,8 @@ package pwc
 
 import (
 	"babelfish/internal/memdefs"
+	"babelfish/internal/memsys"
+	"babelfish/internal/telemetry"
 )
 
 // Config sizes one PWC.
@@ -75,6 +77,23 @@ func (p *PWC) Stats() Stats { return p.stats }
 
 // ResetStats zeroes the counters.
 func (p *PWC) ResetStats() { p.stats = Stats{} }
+
+// Name implements memsys.Device.
+func (p *PWC) Name() string { return "pwc" }
+
+// DeviceStats implements memsys.Device.
+func (p *PWC) DeviceStats() memsys.Stats {
+	return memsys.Stats{
+		{Name: "accesses", Unit: "probe", Help: "page-walk cache probes", Value: p.stats.Accesses},
+		{Name: "hits", Unit: "hit", Help: "page-walk cache hits", Value: p.stats.Hits},
+		{Name: "misses", Unit: "miss", Help: "page-walk cache misses", Value: p.stats.Misses},
+	}
+}
+
+// Register installs the PWC stats under "pwc".
+func (p *PWC) Register(reg *telemetry.Registry) { memsys.RegisterDevice(reg, p.Name(), p) }
+
+var _ memsys.Device = (*PWC)(nil)
 
 // Caches reports whether a level's entries are held in the PWC.
 func Caches(lvl memdefs.Level) bool { return lvl < memdefs.LvlPTE }

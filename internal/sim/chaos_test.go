@@ -64,7 +64,10 @@ func runChaos(t *testing.T, nth uint64) metrics.Counters {
 			t.Errorf("TLB audit checked no entries with live tasks (nth=%d)", nth)
 		}
 	}
-	c := m.Counters()
+	c, err := m.Counters()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if c.KernelBugs != 0 {
 		t.Errorf("kernel bug panics under chaos: %d", c.KernelBugs)
 	}
@@ -138,7 +141,10 @@ func TestOOMKillerTerminatesTask(t *testing.T) {
 	if m.OOMKills() != 1 {
 		t.Fatalf("OOMKills = %d, want 1", m.OOMKills())
 	}
-	c := m.Counters()
+	c, err := m.Counters()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if c.OOMEvents == 0 {
 		t.Fatal("no OOM events counted")
 	}

@@ -16,6 +16,7 @@ import (
 	"babelfish/internal/dram"
 	"babelfish/internal/kernel"
 	"babelfish/internal/memdefs"
+	"babelfish/internal/memsys"
 	"babelfish/internal/metrics"
 	"babelfish/internal/mmu"
 	"babelfish/internal/physmem"
@@ -132,6 +133,11 @@ type Core struct {
 	Hier *cache.Hierarchy
 	MMU  *mmu.MMU
 
+	// Mem is the port the core's loads/stores/fetches go through —
+	// normally Hier, optionally wrapped by a memsys.FaultPort (see
+	// Machine.SetMemInjector).
+	Mem memsys.Port
+
 	tasks  []*Task
 	cur    int
 	Cycles memdefs.Cycles
@@ -171,6 +177,23 @@ type Machine struct {
 	aggValid bool
 
 	oomKills uint64
+
+	// devGroups is the memsys device layer: every memory-system component
+	// grouped by role, built once at construction. Telemetry registration
+	// and the stats reset walk this list instead of hand-enumerating
+	// concrete fields.
+	devGroups []deviceGroup
+
+	// Memory-system fault injection state (see SetMemInjector).
+	cacheFaultPorts []*memsys.FaultPort
+	dramFaultPort   *memsys.FaultPort
+}
+
+// deviceGroup is a set of same-shaped devices (one per core for private
+// structures) registered under one telemetry prefix.
+type deviceGroup struct {
+	prefix string
+	devs   []memsys.Device
 }
 
 // EnableTracing attaches an event ring holding up to n events.
@@ -188,13 +211,107 @@ func New(p Params) *Machine {
 	m := &Machine{Params: p, Mem: mem, L3: l3, DRAM: d, Kernel: k}
 	for i := 0; i < p.Cores; i++ {
 		hier := cache.NewHierarchy(p.Hier, l3)
-		core := &Core{ID: i, Hier: hier}
+		core := &Core{ID: i, Hier: hier, Mem: hier}
 		core.MMU = mmu.New(p.MMU, mem, hier, k)
 		m.Cores = append(m.Cores, core)
 	}
 	k.Hooks = m
+	m.buildDeviceGroups()
 	m.registerMetrics()
 	return m
+}
+
+// buildDeviceGroups assembles the memsys device layer: per-core devices
+// grouped by role (summed in telemetry), shared devices alone. The order
+// fixes the telemetry registration order.
+func (m *Machine) buildDeviceGroups() {
+	perCore := func(pick func(*Core) memsys.Device) []memsys.Device {
+		devs := make([]memsys.Device, len(m.Cores))
+		for i, c := range m.Cores {
+			devs[i] = pick(c)
+		}
+		return devs
+	}
+	m.devGroups = []deviceGroup{
+		{"mmu", perCore(func(c *Core) memsys.Device { return c.MMU })},
+		{"tlb.l2", perCore(func(c *Core) memsys.Device { return c.MMU.L2 })},
+		{"tlb.l1d", perCore(func(c *Core) memsys.Device { return c.MMU.L1D })},
+		{"tlb.l1i", perCore(func(c *Core) memsys.Device { return c.MMU.L1I })},
+		{"pwc", perCore(func(c *Core) memsys.Device { return c.MMU.PWC })},
+		{"cache.l1d", perCore(func(c *Core) memsys.Device { return c.Hier.L1D })},
+		{"cache.l1i", perCore(func(c *Core) memsys.Device { return c.Hier.L1I })},
+		{"cache.l2", perCore(func(c *Core) memsys.Device { return c.Hier.L2 })},
+		{"cache.l3", []memsys.Device{m.L3}},
+		{"dram", []memsys.Device{m.DRAM}},
+	}
+}
+
+// Devices returns the machine's memory-system devices in registration
+// order (for audits and diagnostics).
+func (m *Machine) Devices() []memsys.Device {
+	var out []memsys.Device
+	for _, g := range m.devGroups {
+		out = append(out, g.devs...)
+	}
+	return out
+}
+
+// SetMemInjector installs deterministic fault injectors at the selected
+// memory-system seams: TLB and PWC lookups inside each core's MMU, a
+// FaultPort wrapping each core's cache hierarchy, and a FaultPort between
+// the shared L3 and DRAM. Every seam gets its own Injector instance with
+// the same config, so the per-device event sequences — and therefore the
+// fault pattern — are deterministic and replayable. Calling it again
+// replaces the previous wiring (targets 0 or a disabled config removes
+// all injectors and restores the direct ports).
+func (m *Machine) SetMemInjector(targets memsys.Target, cfg memsys.InjectConfig) {
+	for _, c := range m.Cores {
+		c.Mem = c.Hier
+		c.MMU.SetPort(c.Hier)
+		c.MMU.SetTLBInjector(nil)
+		c.MMU.SetPWCInjector(nil)
+	}
+	m.L3.SetBelow(m.DRAM)
+	m.cacheFaultPorts, m.dramFaultPort = nil, nil
+	if targets == 0 || !cfg.Enabled() {
+		return
+	}
+	for _, c := range m.Cores {
+		if targets&memsys.TargetTLB != 0 {
+			c.MMU.SetTLBInjector(memsys.NewInjector(cfg))
+		}
+		if targets&memsys.TargetPWC != 0 {
+			c.MMU.SetPWCInjector(memsys.NewInjector(cfg))
+		}
+		if targets&memsys.TargetCache != 0 {
+			fp := memsys.NewFaultPort(c.Hier, memsys.NewInjector(cfg))
+			c.Mem = fp
+			c.MMU.SetPort(fp)
+			m.cacheFaultPorts = append(m.cacheFaultPorts, fp)
+		}
+	}
+	if targets&memsys.TargetDRAM != 0 {
+		fp := memsys.NewFaultPort(m.DRAM, memsys.NewInjector(cfg))
+		m.L3.SetBelow(fp)
+		m.dramFaultPort = fp
+	}
+}
+
+// MemInjected returns the lifetime count of memory-system faults injected
+// across all seams (TLB, PWC, cache, DRAM). Unlike device stats it is not
+// reset at the warm-up boundary.
+func (m *Machine) MemInjected() uint64 {
+	var t uint64
+	for _, c := range m.Cores {
+		t += c.MMU.InjectedMemFaults()
+	}
+	for _, fp := range m.cacheFaultPorts {
+		t += fp.Injected()
+	}
+	if m.dramFaultPort != nil {
+		t += m.dramFaultPort.Injected()
+	}
+	return t
 }
 
 // MachineHooks implementation: the kernel's reach into the hardware.
@@ -307,10 +424,53 @@ func (m *Machine) runQuantum(c *Core) (uint64, error) {
 	return instrs, err
 }
 
+// stepOnce performs the per-step bookkeeping shared by both scheduler
+// loops: request-boundary latency recording, think-time charging (at
+// thinkDiv: 10 for a dedicated core's 0.5 CPI, 5 for an SMT thread
+// sharing the issue width), translation, the memory access through the
+// core's port, latency accounting and the sampler tick. It returns the
+// translation error, if any, for the caller to route through the OOM
+// killer. infoPtr is non-nil exactly when observe is true (the MMU skips
+// the per-access Info bookkeeping copy otherwise).
+func (m *Machine) stepOnce(c *Core, t *Task, step *Step, infoPtr *mmu.Info, observe bool, thinkDiv memdefs.Cycles) error {
+	switch step.Req {
+	case ReqStart:
+		t.reqStart = c.Cycles
+		t.reqStartOwn = t.Cycles
+		t.inReq = true
+	case ReqEnd:
+		if t.inReq {
+			t.Lat.AddCycles(c.Cycles - t.reqStart)
+			t.LatOwn.AddCycles(t.Cycles - t.reqStartOwn)
+			t.inReq = false
+		}
+	}
+	think := memdefs.Cycles(step.Think*m.Params.CPITenths) / thinkDiv
+	c.Cycles += think
+
+	ppn, tc, err := c.MMU.TranslateInto(&t.ctx, step.VA, step.Write, step.Kind, infoPtr)
+	if err != nil {
+		return err
+	}
+	if observe {
+		m.observeTranslation(c, t, step, tc, infoPtr)
+	}
+	pa := ppn.Addr() + memdefs.PAddr(memdefs.PageOffset(step.VA))
+	dlat, _ := c.Mem.Access(pa, step.Kind, step.Write)
+	c.Cycles += tc + dlat
+	t.Cycles += think + tc + dlat
+	t.Instrs += uint64(step.Think) + 1
+	if m.sampler != nil {
+		m.sampler.Tick(uint64(c.Cycles))
+	}
+	return nil
+}
+
 // runQuantumSMT runs two tasks as SMT siblings for one quantum: steps
 // alternate between the threads, and every structure of the core (TLBs,
 // PWC, caches) is shared between them, so one thread's fills are
-// immediately visible to the other.
+// immediately visible to the other. Think time is charged at double CPI
+// (each thread contributes half the issue width).
 func (m *Machine) runQuantumSMT(c *Core, t1, t2 *Task) (uint64, error) {
 	c.Cycles += m.Params.CtxSwitch
 	end := c.Cycles + m.Params.Quantum
@@ -319,9 +479,6 @@ func (m *Machine) runQuantumSMT(c *Core, t1, t2 *Task) (uint64, error) {
 	var instrs uint64
 	turn := 0
 	observe := m.Tracer != nil || m.telemetryOn
-	sam := m.sampler
-	// With no observer attached, pass nil so the MMU skips the per-access
-	// Info bookkeeping copy (see mmu.TranslateInto).
 	var tinfo mmu.Info
 	infoPtr := &tinfo
 	if !observe {
@@ -341,46 +498,12 @@ func (m *Machine) runQuantumSMT(c *Core, t1, t2 *Task) (uint64, error) {
 			t.FinishCycles = c.Cycles
 			continue
 		}
-		switch step.Req {
-		case ReqStart:
-			t.reqStart = c.Cycles
-			t.reqStartOwn = t.Cycles
-			t.inReq = true
-		case ReqEnd:
-			if t.inReq {
-				t.Lat.AddCycles(c.Cycles - t.reqStart)
-				t.LatOwn.AddCycles(t.Cycles - t.reqStartOwn)
-				t.inReq = false
-			}
-		}
-		// Each thread contributes half the issue width: charge think at
-		// double CPI (two threads share the pipeline).
-		think := memdefs.Cycles(step.Think*m.Params.CPITenths) / 5
-		c.Cycles += think
 		instrs += uint64(step.Think) + 1
-
-		ppn, tc, err := c.MMU.TranslateInto(&t.ctx, step.VA, step.Write, step.Kind, infoPtr)
-		if err != nil {
+		if err := m.stepOnce(c, t, &step, infoPtr, observe, 5); err != nil {
 			if m.oomKill(c, t, err) {
 				continue
 			}
 			return instrs, fmt.Errorf("core %d pid %d (SMT): %w", c.ID, t.Proc.PID, err)
-		}
-		if observe {
-			m.observeTranslation(c, t, &step, tc, &tinfo)
-		}
-		pa := ppn.Addr() + memdefs.PAddr(memdefs.PageOffset(step.VA))
-		var dlat memdefs.Cycles
-		if step.Kind == memdefs.AccessInstr {
-			dlat, _ = c.Hier.Instr(pa)
-		} else {
-			dlat, _ = c.Hier.Data(pa, step.Write)
-		}
-		c.Cycles += tc + dlat
-		t.Cycles += think + tc + dlat
-		t.Instrs += uint64(step.Think) + 1
-		if sam != nil {
-			sam.Tick(uint64(c.Cycles))
 		}
 	}
 	c.Instrs += instrs
@@ -399,9 +522,6 @@ func (m *Machine) runQuantumTask(c *Core, t *Task) (uint64, error) {
 	var step Step
 	var instrs uint64
 	observe := m.Tracer != nil || m.telemetryOn
-	sam := m.sampler
-	// With no observer attached, pass nil so the MMU skips the per-access
-	// Info bookkeeping copy (see mmu.TranslateInto).
 	var tinfo mmu.Info
 	infoPtr := &tinfo
 	if !observe {
@@ -413,49 +533,14 @@ func (m *Machine) runQuantumTask(c *Core, t *Task) (uint64, error) {
 			t.FinishCycles = c.Cycles
 			break
 		}
-		// Request bookkeeping.
-		switch step.Req {
-		case ReqStart:
-			t.reqStart = c.Cycles
-			t.reqStartOwn = t.Cycles
-			t.inReq = true
-		case ReqEnd:
-			if t.inReq {
-				t.Lat.AddCycles(c.Cycles - t.reqStart)
-				t.LatOwn.AddCycles(t.Cycles - t.reqStartOwn)
-				t.inReq = false
-			}
-		}
-		// Think time.
-		think := memdefs.Cycles(step.Think*m.Params.CPITenths) / 10
-		c.Cycles += think
 		instrs += uint64(step.Think) + 1
-
-		// Translate, then access memory.
-		ppn, tc, err := c.MMU.TranslateInto(&t.ctx, step.VA, step.Write, step.Kind, infoPtr)
-		if err != nil {
+		if err := m.stepOnce(c, t, &step, infoPtr, observe, 10); err != nil {
 			if m.oomKill(c, t, err) {
 				break
 			}
 			return instrs, fmt.Errorf("core %d pid %d: %w", c.ID, t.Proc.PID, err)
 		}
-		if observe {
-			m.observeTranslation(c, t, &step, tc, &tinfo)
-		}
-		pa := ppn.Addr() + memdefs.PAddr(memdefs.PageOffset(step.VA))
-		var dlat memdefs.Cycles
-		if step.Kind == memdefs.AccessInstr {
-			dlat, _ = c.Hier.Instr(pa)
-		} else {
-			dlat, _ = c.Hier.Data(pa, step.Write)
-		}
-		c.Cycles += tc + dlat
-		t.Cycles += think + tc + dlat
-		if sam != nil {
-			sam.Tick(uint64(c.Cycles))
-		}
 	}
-	t.Instrs += instrs
 	c.Instrs += instrs
 	return instrs, nil
 }
@@ -555,12 +640,17 @@ func (m *Machine) RunToCompletion() error {
 }
 
 // ResetStats zeroes all hardware and kernel counters and per-task
-// accounting — the warm-up/measurement boundary.
+// accounting — the warm-up/measurement boundary. Hardware counters are
+// reset through the memsys device layer; injector sequence state is
+// deliberately untouched (the fault pattern spans the whole run).
 func (m *Machine) ResetStats() {
 	m.aggValid = false
+	for _, g := range m.devGroups {
+		for _, d := range g.devs {
+			d.ResetStats()
+		}
+	}
 	for _, c := range m.Cores {
-		c.MMU.ResetStats()
-		c.Hier.ResetStats()
 		c.Instrs = 0
 		c.Cycles = 0
 		for _, t := range c.tasks {
@@ -571,8 +661,6 @@ func (m *Machine) ResetStats() {
 			t.inReq = false
 		}
 	}
-	m.L3.ResetStats()
-	m.DRAM.ResetStats()
 	m.Kernel.ResetStats()
 	m.Registry.ResetHistograms()
 	if m.sampler != nil {
@@ -583,12 +671,19 @@ func (m *Machine) ResetStats() {
 // Counters snapshots the machine's robustness counters: memory-pressure
 // events and how they were absorbed. It is a thin view over the
 // telemetry registry, so the robustness counters print and export
-// through the same path as every performance counter.
-func (m *Machine) Counters() metrics.Counters {
+// through the same path as every performance counter. A non-nil error
+// names the first metric missing from the registry (a refactor bug, not
+// a runtime condition); the returned counters are still valid for every
+// metric that was found.
+func (m *Machine) Counters() (metrics.Counters, error) {
+	var firstErr error
 	v := func(name string) uint64 {
 		f, ok := m.Registry.Value(name)
 		if !ok {
-			panic("sim: counter metric not registered: " + name)
+			if firstErr == nil {
+				firstErr = fmt.Errorf("sim: counter metric not registered: %s", name)
+			}
+			return 0
 		}
 		return uint64(f)
 	}
@@ -598,7 +693,7 @@ func (m *Machine) Counters() metrics.Counters {
 		InjectedFaults: v("phys.injected_faults"),
 		OOMKills:       v("sim.oom_kills"),
 		KernelBugs:     v("sim.kernel_bugs"),
-	}
+	}, firstErr
 }
 
 // Tasks returns every task on the machine.

@@ -1,13 +1,12 @@
 package sim
 
 import (
-	"babelfish/internal/cache"
 	"babelfish/internal/kernel"
 	"babelfish/internal/memdefs"
+	"babelfish/internal/memsys"
 	"babelfish/internal/mmu"
 	"babelfish/internal/physmem"
 	"babelfish/internal/telemetry"
-	"babelfish/internal/tlb"
 	"babelfish/internal/trace"
 )
 
@@ -25,38 +24,14 @@ const (
 // registerMetrics builds the machine's telemetry registry: every stat
 // producer is exposed through a pull probe that reads the producer's own
 // counters on demand, so the hot paths pay nothing until a snapshot or
-// sample is taken.
+// sample is taken. Memory-system devices self-register through the
+// memsys layer (each device announces its own stats; per-core instances
+// are summed under one prefix), so adding a device adds its metrics;
+// only machine-level, kernel and derived metrics are registered by hand.
 func (m *Machine) registerMetrics() {
 	reg := telemetry.NewRegistry()
 	m.Registry = reg
 
-	mmuSum := func(f func(mmu.Stats) uint64) func() uint64 {
-		return func() uint64 {
-			var t uint64
-			for _, c := range m.Cores {
-				t += f(c.MMU.Stats())
-			}
-			return t
-		}
-	}
-	l2Sum := func(f func(tlb.Stats) uint64) func() uint64 {
-		return func() uint64 {
-			var t uint64
-			for _, c := range m.Cores {
-				t += f(c.MMU.L2.Stats())
-			}
-			return t
-		}
-	}
-	cacheSum := func(pick func(*Core) *cache.Cache, f func(cache.Stats) uint64) func() uint64 {
-		return func() uint64 {
-			var t uint64
-			for _, c := range m.Cores {
-				t += f(pick(c).Stats())
-			}
-			return t
-		}
-	}
 	kstat := func(f func(kernel.Stats) uint64) func() uint64 {
 		return func() uint64 { return f(m.Kernel.Stats()) }
 	}
@@ -83,72 +58,17 @@ func (m *Machine) registerMetrics() {
 		return kernel.BugCount() + physmem.BugPanics()
 	})
 
-	// MMU roll-up across cores.
-	reg.Counter("mmu.translations", "xlat", "translations performed", mmuSum(func(s mmu.Stats) uint64 { return s.Translations }))
-	reg.Counter("mmu.l1_hits", "hit", "L1 TLB hits", mmuSum(func(s mmu.Stats) uint64 { return s.L1Hits }))
-	reg.Counter("mmu.l2_hits", "hit", "L2 TLB hits", mmuSum(func(s mmu.Stats) uint64 { return s.L2Hits }))
-	reg.Counter("mmu.l2_misses", "miss", "L2 TLB misses", mmuSum(func(s mmu.Stats) uint64 { return s.L2Misses }))
-	reg.Counter("mmu.walks", "walk", "hardware page walks", mmuSum(func(s mmu.Stats) uint64 { return s.Walks }))
-	reg.Counter("mmu.faults", "fault", "page faults raised to the kernel", mmuSum(func(s mmu.Stats) uint64 { return s.Faults }))
-	reg.Counter("mmu.fault_cycles", "cyc", "kernel fault-handling cycles", mmuSum(func(s mmu.Stats) uint64 { return uint64(s.FaultCycles) }))
-	reg.Counter("mmu.xlat_cycles", "cyc", "total translation cycles", mmuSum(func(s mmu.Stats) uint64 { return uint64(s.TotalCycles) }))
-	reg.Counter("mmu.l2_miss_data", "miss", "L2 TLB data misses", mmuSum(func(s mmu.Stats) uint64 { return s.L2MissData }))
-	reg.Counter("mmu.l2_miss_instr", "miss", "L2 TLB instruction misses", mmuSum(func(s mmu.Stats) uint64 { return s.L2MissInstr }))
-	reg.Counter("mmu.l2_hit_data", "hit", "L2 TLB data hits", mmuSum(func(s mmu.Stats) uint64 { return s.L2HitData }))
-	reg.Counter("mmu.l2_hit_instr", "hit", "L2 TLB instruction hits", mmuSum(func(s mmu.Stats) uint64 { return s.L2HitInstr }))
-	reg.Counter("mmu.l2_shared_data", "hit", "L2 TLB data hits on another process's entry", mmuSum(func(s mmu.Stats) uint64 { return s.L2SharedData }))
-	reg.Counter("mmu.l2_shared_instr", "hit", "L2 TLB instruction hits on another process's entry", mmuSum(func(s mmu.Stats) uint64 { return s.L2SharedInstr }))
-	reg.Counter("mmu.walk_req_pwc", "req", "walk requests served by the PWC", mmuSum(func(s mmu.Stats) uint64 { return s.WalkReqPWC }))
-	reg.Counter("mmu.walk_req_l2", "req", "walk requests served by the L2 cache", mmuSum(func(s mmu.Stats) uint64 { return s.WalkReqL2 }))
-	reg.Counter("mmu.walk_req_l3", "req", "walk requests served by the L3 cache", mmuSum(func(s mmu.Stats) uint64 { return s.WalkReqL3 }))
-	reg.Counter("mmu.walk_req_mem", "req", "walk requests served by DRAM", mmuSum(func(s mmu.Stats) uint64 { return s.WalkReqMem }))
+	// Memory-system devices: each group of same-shaped devices registers
+	// the stats the devices themselves announce, summed across cores.
+	for _, g := range m.devGroups {
+		memsys.RegisterSummed(reg, g.prefix, g.devs...)
+	}
 
-	// L2 TLB structure counters (per-size-class structures summed).
-	reg.Counter("tlb.l2.accesses", "probe", "L2 TLB probes", l2Sum(func(s tlb.Stats) uint64 { return s.Accesses }))
-	reg.Counter("tlb.l2.hits", "hit", "L2 TLB structure hits", l2Sum(func(s tlb.Stats) uint64 { return s.Hits }))
-	reg.Counter("tlb.l2.misses", "miss", "L2 TLB structure misses", l2Sum(func(s tlb.Stats) uint64 { return s.Misses }))
-	reg.Counter("tlb.l2.shared_hits", "hit", "hits on entries brought in by another process", l2Sum(func(s tlb.Stats) uint64 { return s.SharedHits }))
-	reg.Counter("tlb.l2.mask_checks", "check", "Figure-8 PC-bitmask reads", l2Sum(func(s tlb.Stats) uint64 { return s.MaskChecks }))
-	reg.Counter("tlb.l2.fills", "fill", "entries installed", l2Sum(func(s tlb.Stats) uint64 { return s.Fills }))
-	reg.Counter("tlb.l2.evictions", "evict", "entries evicted", l2Sum(func(s tlb.Stats) uint64 { return s.Evictions }))
-	reg.Counter("tlb.l2.invalidations", "inv", "entries invalidated by shootdowns", l2Sum(func(s tlb.Stats) uint64 { return s.Invalidations }))
-
-	// Page-walk cache.
-	reg.Counter("pwc.accesses", "probe", "PWC probes", func() uint64 {
-		var t uint64
-		for _, c := range m.Cores {
-			t += c.MMU.PWC.Stats().Accesses
-		}
-		return t
+	// Memory-system fault injection (lifetime count across all seams; the
+	// per-seam split lives in the mmu.inj_* device stats).
+	reg.Counter("meminj.injected", "fault", "memory-system faults injected (TLB/PWC/cache/DRAM)", func() uint64 {
+		return m.MemInjected()
 	})
-	reg.Counter("pwc.hits", "hit", "PWC hits", func() uint64 {
-		var t uint64
-		for _, c := range m.Cores {
-			t += c.MMU.PWC.Stats().Hits
-		}
-		return t
-	})
-	reg.Counter("pwc.misses", "miss", "PWC misses", func() uint64 {
-		var t uint64
-		for _, c := range m.Cores {
-			t += c.MMU.PWC.Stats().Misses
-		}
-		return t
-	})
-
-	// Cache hierarchy (private levels summed across cores) and DRAM.
-	reg.Counter("cache.l1d.accesses", "acc", "L1D accesses", cacheSum(func(c *Core) *cache.Cache { return c.Hier.L1D }, func(s cache.Stats) uint64 { return s.Accesses }))
-	reg.Counter("cache.l1d.misses", "miss", "L1D misses", cacheSum(func(c *Core) *cache.Cache { return c.Hier.L1D }, func(s cache.Stats) uint64 { return s.Misses }))
-	reg.Counter("cache.l1i.accesses", "acc", "L1I accesses", cacheSum(func(c *Core) *cache.Cache { return c.Hier.L1I }, func(s cache.Stats) uint64 { return s.Accesses }))
-	reg.Counter("cache.l1i.misses", "miss", "L1I misses", cacheSum(func(c *Core) *cache.Cache { return c.Hier.L1I }, func(s cache.Stats) uint64 { return s.Misses }))
-	reg.Counter("cache.l2.accesses", "acc", "private L2 accesses", cacheSum(func(c *Core) *cache.Cache { return c.Hier.L2 }, func(s cache.Stats) uint64 { return s.Accesses }))
-	reg.Counter("cache.l2.misses", "miss", "private L2 misses", cacheSum(func(c *Core) *cache.Cache { return c.Hier.L2 }, func(s cache.Stats) uint64 { return s.Misses }))
-	reg.Counter("cache.l3.accesses", "acc", "shared L3 accesses", func() uint64 { return m.L3.Stats().Accesses })
-	reg.Counter("cache.l3.misses", "miss", "shared L3 misses", func() uint64 { return m.L3.Stats().Misses })
-	reg.Counter("dram.reads", "req", "DRAM reads", func() uint64 { return m.DRAM.Stats().Reads })
-	reg.Counter("dram.writes", "req", "DRAM writes", func() uint64 { return m.DRAM.Stats().Writes })
-	reg.Counter("dram.row_hits", "hit", "DRAM row-buffer hits", func() uint64 { return m.DRAM.Stats().RowHits })
-	reg.Counter("dram.row_misses", "miss", "DRAM row-buffer misses", func() uint64 { return m.DRAM.Stats().RowMisses })
 
 	// Kernel.
 	reg.Counter("kernel.forks", "fork", "forks", kstat(func(s kernel.Stats) uint64 { return s.Forks }))

@@ -112,7 +112,10 @@ func TestRegistryMatchesAggregate(t *testing.T) {
 	}
 	// Counters() is now a view over the registry; it must agree with the
 	// kernel's own stats.
-	cnt := m.Counters()
+	cnt, err := m.Counters()
+	if err != nil {
+		t.Fatal(err)
+	}
 	ks := m.Kernel.Stats()
 	if cnt.OOMEvents != ks.OOMEvents || cnt.ReclaimedPages != ks.Reclaimed {
 		t.Fatalf("Counters() diverges from kernel stats: %+v vs %+v", cnt, ks)

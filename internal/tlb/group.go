@@ -2,6 +2,8 @@ package tlb
 
 import (
 	"babelfish/internal/memdefs"
+	"babelfish/internal/memsys"
+	"babelfish/internal/telemetry"
 )
 
 // Group bundles the per-page-size TLB structures of one level (the paper's
@@ -10,16 +12,22 @@ import (
 // structures consulted (they are accessed concurrently in hardware).
 type Group struct {
 	BydSize [memdefs.NumPageSizes]*TLB // nil for absent classes
+	name    string
 }
 
 // GroupConfig lists the structures of a group; absent classes stay nil.
+// Name identifies the group as a memsys.Device ("tlb.l1d", "tlb.l2", ...).
 type GroupConfig struct {
+	Name    string
 	Structs []Config
 }
 
 // NewGroup builds the group.
 func NewGroup(cfg GroupConfig) *Group {
-	g := &Group{}
+	g := &Group{name: cfg.Name}
+	if g.name == "" {
+		g.name = "tlb"
+	}
 	for _, c := range cfg.Structs {
 		g.BydSize[c.Size] = New(c)
 	}
@@ -159,12 +167,41 @@ func (g *Group) ResetStats() {
 	}
 }
 
+// Name returns the configured device name ("tlb.l1d", "tlb.l2", ...).
+func (g *Group) Name() string { return g.name }
+
+// DeviceStats implements memsys.Device: the summed counters as named
+// stats. The first eight match the metric names the simulator has always
+// exported for the L2 group; the rest are additive.
+func (g *Group) DeviceStats() memsys.Stats {
+	s := g.Stats()
+	return memsys.Stats{
+		{Name: "accesses", Unit: "probe", Help: "TLB probes", Value: s.Accesses},
+		{Name: "hits", Unit: "hit", Help: "TLB structure hits", Value: s.Hits},
+		{Name: "misses", Unit: "miss", Help: "TLB structure misses", Value: s.Misses},
+		{Name: "shared_hits", Unit: "hit", Help: "hits on entries brought in by another process", Value: s.SharedHits},
+		{Name: "mask_checks", Unit: "check", Help: "Figure-8 PC-bitmask reads", Value: s.MaskChecks},
+		{Name: "fills", Unit: "fill", Help: "entries installed", Value: s.Fills},
+		{Name: "evictions", Unit: "evict", Help: "entries evicted", Value: s.Evictions},
+		{Name: "invalidations", Unit: "inv", Help: "entries invalidated by shootdowns", Value: s.Invalidations},
+		{Name: "private_copy_skips", Unit: "skip", Help: "shared hits rejected by a set PC bit", Value: s.PrivateCopySkips},
+		{Name: "cow_fault_hits", Unit: "hit", Help: "hits that raised a CoW fault", Value: s.CoWFaultHits},
+		{Name: "prot_fault_hits", Unit: "hit", Help: "hits that raised a protection fault", Value: s.ProtFaultHits},
+		{Name: "mask_loads", Unit: "load", Help: "PC-bitmask fetches from memory", Value: s.MaskLoads},
+	}
+}
+
+// Register installs the group's stats under its configured name.
+func (g *Group) Register(reg *telemetry.Registry) { memsys.RegisterDevice(reg, g.name, g) }
+
+var _ memsys.Device = (*Group)(nil)
+
 // Table I group configurations. mode is TagPCID for the baseline (and for
 // BabelFish's L1 under ASLR-HW) and TagCCID for BabelFish structures.
 
 // L1DConfig returns the per-core L1 data-TLB group.
 func L1DConfig(mode Mode) GroupConfig {
-	return GroupConfig{Structs: []Config{
+	return GroupConfig{Name: "tlb.l1d", Structs: []Config{
 		{Name: "L1D-4K", Entries: 64, Ways: 4, Size: memdefs.Page4K, Mode: mode, AccessTime: 1},
 		{Name: "L1D-2M", Entries: 32, Ways: 4, Size: memdefs.Page2M, Mode: mode, AccessTime: 1},
 		{Name: "L1D-1G", Entries: 4, Ways: 0, Size: memdefs.Page1G, Mode: mode, AccessTime: 1},
@@ -173,7 +210,7 @@ func L1DConfig(mode Mode) GroupConfig {
 
 // L1IConfig returns the per-core L1 instruction-TLB group.
 func L1IConfig(mode Mode) GroupConfig {
-	return GroupConfig{Structs: []Config{
+	return GroupConfig{Name: "tlb.l1i", Structs: []Config{
 		{Name: "L1I-4K", Entries: 64, Ways: 4, Size: memdefs.Page4K, Mode: mode, AccessTime: 1},
 	}}
 }
@@ -188,7 +225,7 @@ func L2Config(mode Mode, larger bool) GroupConfig {
 	if larger {
 		entries, ways = 2304, 18
 	}
-	return GroupConfig{Structs: []Config{
+	return GroupConfig{Name: "tlb.l2", Structs: []Config{
 		{Name: "L2-4K", Entries: entries, Ways: ways, Size: memdefs.Page4K, Mode: mode, AccessTime: at, AccessTimeMask: atMask},
 		{Name: "L2-2M", Entries: entries, Ways: ways, Size: memdefs.Page2M, Mode: mode, AccessTime: at, AccessTimeMask: atMask},
 		{Name: "L2-1G", Entries: 16, Ways: 4, Size: memdefs.Page1G, Mode: mode, AccessTime: at, AccessTimeMask: atMask},

@@ -1,14 +1,18 @@
 #!/usr/bin/env bash
-# bench.sh — the PR 3 bench runner: measures the translation hot path
+# bench.sh — the per-PR bench runner: measures the translation hot path
 # (go test -bench) and the full quick-scale experiment suite serial vs
 # parallel, verifies the parallel run is byte-identical, and emits a
-# machine-readable BENCH_<n>.json seeding the perf trajectory.
+# machine-readable BENCH_<n>.json extending the perf trajectory. The
+# previous PR's BENCH_<n-1>.json, when present, is embedded as the
+# before_this_pr baseline so regressions are visible in one file.
 #
 # Usage: scripts/bench.sh [output.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_3.json}
+out=${1:-BENCH_4.json}
+pr=$(basename "$out" .json | sed 's/^BENCH_//')
+prev="BENCH_$((pr - 1)).json"
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
@@ -48,10 +52,20 @@ if ! cmp -s "$tmp/serial.json" "$tmp/par.json"; then
 fi
 echo "serial ${serial_s}s, jobs=4 ${par_s}s (speedup ${speedup}x), identical=$identical"
 
+# Previous PR's numbers become this file's baseline (inner lines of its
+# benchmarks_ns_per_op object, verbatim).
+if [ -f "$prev" ]; then
+    before=$(awk '/"benchmarks_ns_per_op": \{/,/\}/' "$prev" | sed '1d;$d')
+    before_note="measured at the pre-PR tree ($prev), same benchmarks"
+else
+    before=""
+    before_note="no $prev found; first measured PR"
+fi
+
 ncpu=$(nproc 2>/dev/null || echo 1)
 cat > "$out" <<EOF
 {
-  "pr": 3,
+  "pr": $pr,
   "generated": "$(date -u +%FT%TZ)",
   "host": {
     "cpus": $ncpu,
@@ -73,9 +87,8 @@ cat > "$out" <<EOF
     "BenchmarkTranslateWalk": $ns_walk
   },
   "before_this_pr_ns_per_op": {
-    "note": "measured at the pre-PR tree (commit 184cc55), same host, -benchtime 1s",
-    "BenchmarkTLBLookup": 12.04,
-    "BenchmarkTranslateWalk": 171.5
+    "note": "$before_note"$([ -n "$before" ] && echo ,)
+$before
   }
 }
 EOF
