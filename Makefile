@@ -8,11 +8,13 @@ build:
 test:
 	$(GO) test ./...
 
-# The parallel engine's safety proof: machines share no mutable state.
+# The parallel engine's safety proof: machines share no mutable state —
+# neither across experiment cells nor across fleet nodes.
 race:
-	$(GO) test -race ./internal/experiments/... ./internal/sim/...
+	$(GO) test -race ./internal/experiments/... ./internal/sim/... ./internal/fleet/... ./internal/par/...
 
-# Regenerate BENCH_4.json: hot-path ns/op plus suite wall-clock serial
-# vs jobs=4, failing if the parallel output is not byte-identical.
+# Regenerate BENCH_5.json: hot-path and fleet-epoch ns/op plus suite
+# wall-clock serial vs jobs=4, failing if the parallel output is not
+# byte-identical or the previous BENCH_4.json baseline is missing.
 bench:
-	./scripts/bench.sh BENCH_4.json
+	./scripts/bench.sh BENCH_5.json

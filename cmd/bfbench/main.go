@@ -29,14 +29,16 @@ func main() {
 		seed    = flag.Uint64("seed", 0, "random seed (0 = default)")
 		quick   = flag.Bool("quick", false, "use the reduced smoke-test options")
 		format  = flag.String("format", "text", "output format: text, json or markdown (json/markdown run all experiments)")
-		jobs    = flag.Int("jobs", 0, "parallel experiment cells (0 = GOMAXPROCS, 1 = serial); output is identical at any width")
+		jobs    = flag.Int("jobs", 0, "parallel experiment cells (default GOMAXPROCS, 1 = serial); output is identical at any width")
 	)
 	flag.Parse()
-	if *jobs < 0 {
-		fmt.Fprintln(os.Stderr, "bfbench: -jobs must be >= 0")
-		flag.Usage()
-		os.Exit(2)
-	}
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "jobs" && *jobs <= 0 {
+			fmt.Fprintln(os.Stderr, "bfbench: -jobs must be positive (omit the flag for GOMAXPROCS)")
+			flag.Usage()
+			os.Exit(2)
+		}
+	})
 
 	o := experiments.Default()
 	if *quick {

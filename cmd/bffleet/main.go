@@ -1,0 +1,266 @@
+// Command bffleet runs a deterministic multi-node cluster of simulated
+// machines under seeded fault injection and prints a fleet report:
+// recovery-action tallies, re-placement delay, node downtime and request
+// latency quantiles, and the achieved container density — for one
+// architecture or side-by-side for baseline and BabelFish.
+//
+// Usage:
+//
+//	bffleet [-nodes N] [-cores N] [-mem-mb N] [-app mongodb|arangodb|httpd|graphchi|fio]
+//	        [-arch baseline|babelfish|both] [-scale F] [-containers N]
+//	        [-epochs N] [-epoch-instr N] [-seed N]
+//	        [-kill-nth N] [-kill-prob P] [-kill-seed N] [-kill-after N] [-kill-max N]
+//	        [-part-nth N] [-part-prob P] [-part-seed N] [-part-after N] [-part-max N]
+//	        [-part-len N] [-restart-after N] [-suspicion N]
+//	        [-backoff-base N] [-backoff-cap N] [-retry-budget N]
+//	        [-max-per-node N] [-min-free F] [-shed-free F] [-degrade-epochs N]
+//	        [-jobs N] [-audit] [-events N] [-node-telemetry]
+//
+// The -kill-* and -part-* flags arm per-node crash and partition
+// injectors with the memory-system injector's policy shape: every Nth
+// epoch pulse and/or with probability P per pulse, starting after the
+// first -*-after pulses, capped at -*-max faults per node (0 =
+// unlimited). Seeds are mixed and Nth phases staggered by node ID, so
+// faults roll across the fleet instead of striking it in lockstep; the
+// whole fault pattern is a pure function of the flags, so runs replay
+// byte-identically.
+//
+// -audit runs the fleet invariant auditor after the run — no container
+// lost or double-placed, every assigned container reachable, and every
+// up node's kernel/physmem/TLB books balanced — and exits non-zero on
+// any violation. -events N prints the last N audit-log events. -jobs
+// bounds the worker pool stepping node machines (0 = GOMAXPROCS);
+// output is identical at any width.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"babelfish/internal/fleet"
+	"babelfish/internal/kernel"
+	"babelfish/internal/memsys"
+	"babelfish/internal/metrics"
+	"babelfish/internal/sim"
+	"babelfish/internal/workloads"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		nodes      = flag.Int("nodes", 8, "cluster size")
+		cores      = flag.Int("cores", 2, "cores per node")
+		memMB      = flag.Uint64("mem-mb", 256, "physical memory per node, MB")
+		app        = flag.String("app", "mongodb", "workload: mongodb, arangodb, httpd, graphchi, fio")
+		arch       = flag.String("arch", "both", "architecture: baseline, babelfish, both")
+		scale      = flag.Float64("scale", 0.25, "dataset scale factor")
+		containers = flag.Int("containers", 24, "containers the fleet must keep running")
+		epochs     = flag.Int("epochs", 24, "control-loop epochs")
+		epochInstr = flag.Uint64("epoch-instr", 20_000, "per-core instruction budget per epoch")
+		seed       = flag.Uint64("seed", 42, "random seed")
+
+		killNth   = flag.Uint64("kill-nth", 0, "crash a node on every Nth epoch pulse (0 = off; staggered by node ID)")
+		killProb  = flag.Float64("kill-prob", 0, "crash probability per node per epoch (0 = off)")
+		killSeed  = flag.Uint64("kill-seed", 1, "crash-injector seed")
+		killAfter = flag.Uint64("kill-after", 0, "suppress crashes for the first N epochs")
+		killMax   = flag.Uint64("kill-max", 0, "cap crashes per node (0 = unlimited)")
+
+		partNth   = flag.Uint64("part-nth", 0, "partition a node on every Nth epoch pulse (0 = off)")
+		partProb  = flag.Float64("part-prob", 0, "partition probability per node per epoch (0 = off)")
+		partSeed  = flag.Uint64("part-seed", 1, "partition-injector seed")
+		partAfter = flag.Uint64("part-after", 0, "suppress partitions for the first N epochs")
+		partMax   = flag.Uint64("part-max", 0, "cap partitions per node (0 = unlimited)")
+		partLen   = flag.Int("part-len", 4, "partition duration, epochs")
+
+		restartAfter = flag.Int("restart-after", 3, "epochs a crashed node stays down")
+		suspicion    = flag.Int("suspicion", 2, "suspicion timeout: heartbeats missed before condemnation")
+		backoffBase  = flag.Int("backoff-base", 1, "first re-placement retry delay, epochs")
+		backoffCap   = flag.Int("backoff-cap", 8, "re-placement backoff cap, epochs")
+		retryBudget  = flag.Int("retry-budget", 16, "placement attempts before a container is lost")
+
+		maxPerNode    = flag.Int("max-per-node", 8, "per-node container cap")
+		minFree       = flag.Float64("min-free", 0.04, "admission watermark: min free-frame fraction")
+		shedFree      = flag.Float64("shed-free", 0.02, "shed watermark: degrade and shed below this free fraction")
+		degradeEpochs = flag.Int("degrade-epochs", 2, "epochs a degraded node keeps admissions closed")
+
+		jobs    = flag.Int("jobs", 0, "worker pool width for the per-epoch node stepping (default GOMAXPROCS); output is identical at any width")
+		audit   = flag.Bool("audit", false, "run the fleet invariant auditor after each run; exit non-zero on violations")
+		eventsN = flag.Int("events", 0, "print the last N audit-log events of each run")
+		nodeTel = flag.Bool("node-telemetry", false, "enable per-node machine histograms (merged fleet-wide translation latency)")
+	)
+	flag.Parse()
+
+	specs := map[string]func() *workloads.AppSpec{
+		"mongodb": workloads.MongoDB, "arangodb": workloads.ArangoDB,
+		"httpd": workloads.HTTPd, "graphchi": workloads.GraphChi, "fio": workloads.FIO,
+	}
+	mkSpec, ok := specs[*app]
+	if !ok {
+		usageErr("unknown app %q (want mongodb, arangodb, httpd, graphchi or fio)", *app)
+	}
+
+	var modes []kernel.Mode
+	var names []string
+	switch *arch {
+	case "baseline":
+		modes, names = []kernel.Mode{kernel.ModeBaseline}, []string{"baseline"}
+	case "babelfish":
+		modes, names = []kernel.Mode{kernel.ModeBabelFish}, []string{"babelfish"}
+	case "both":
+		modes = []kernel.Mode{kernel.ModeBaseline, kernel.ModeBabelFish}
+		names = []string{"baseline", "babelfish"}
+	default:
+		usageErr("unknown arch %q (want baseline, babelfish or both)", *arch)
+	}
+
+	// Flag consistency: catch nonsense before spending minutes simulating.
+	if *nodes < 1 {
+		usageErr("-nodes must be at least 1")
+	}
+	if *cores < 1 {
+		usageErr("-cores must be at least 1")
+	}
+	if *memMB < 8 {
+		usageErr("-mem-mb must be at least 8")
+	}
+	if *scale <= 0 || math.IsNaN(*scale) || math.IsInf(*scale, 0) {
+		usageErr("-scale must be a positive number")
+	}
+	if *containers < 0 {
+		usageErr("-containers must be non-negative")
+	}
+	if *epochs < 1 || *epochInstr < 1 {
+		usageErr("-epochs and -epoch-instr must be at least 1")
+	}
+	if *eventsN < 0 {
+		usageErr("-events must be non-negative")
+	}
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{{"kill-prob", *killProb}, {"part-prob", *partProb}} {
+		if p.v < 0 || p.v >= 1 || math.IsNaN(p.v) {
+			usageErr("-%s must be in [0, 1)", p.name)
+		}
+	}
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "jobs":
+			if *jobs <= 0 {
+				usageErr("-jobs must be positive (omit the flag for GOMAXPROCS)")
+			}
+		case "kill-seed", "kill-after", "kill-max":
+			if *killNth == 0 && *killProb == 0 {
+				usageErr("-%s has no effect without -kill-nth or -kill-prob", f.Name)
+			}
+		case "part-seed", "part-after", "part-max", "part-len":
+			if *partNth == 0 && *partProb == 0 {
+				usageErr("-%s has no effect without -part-nth or -part-prob", f.Name)
+			}
+		}
+	})
+
+	buildConfig := func(mode kernel.Mode) fleet.Config {
+		p := sim.DefaultParams(mode)
+		p.Cores = *cores
+		p.MemBytes = *memMB << 20
+		cfg := fleet.DefaultConfig(p, mkSpec())
+		cfg.Nodes = *nodes
+		cfg.Scale = *scale
+		cfg.Seed = *seed
+		cfg.Containers = *containers
+		cfg.Epochs = *epochs
+		cfg.EpochInstr = *epochInstr
+		cfg.SuspicionEpochs = *suspicion
+		cfg.Crash = memsys.InjectConfig{
+			Seed: *killSeed, Nth: *killNth, Prob: *killProb, After: *killAfter, MaxFaults: *killMax,
+		}
+		cfg.Partition = memsys.InjectConfig{
+			Seed: *partSeed, Nth: *partNth, Prob: *partProb, After: *partAfter, MaxFaults: *partMax,
+		}
+		cfg.RestartEpochs = *restartAfter
+		cfg.PartitionEpochs = *partLen
+		cfg.BackoffBase = *backoffBase
+		cfg.BackoffCap = *backoffCap
+		cfg.RetryBudget = *retryBudget
+		cfg.MaxPerNode = *maxPerNode
+		cfg.MinFreeFrac = *minFree
+		cfg.ShedFrac = *shedFree
+		cfg.DegradeEpochs = *degradeEpochs
+		cfg.NodeTelemetry = *nodeTel
+		cfg.Jobs = *jobs
+		return cfg
+	}
+	// Validate once up front so a config mistake is a usage error, not a
+	// mid-run failure.
+	if err := buildConfig(modes[0]).Validate(); err != nil {
+		usageErr("%v", err)
+	}
+
+	t := metrics.NewTable(
+		fmt.Sprintf("fleet: %d nodes, %d containers, %s scale %.2f, %d epochs",
+			*nodes, *containers, *app, *scale, *epochs),
+		"arch", "density", "p50Lat", "p99Lat", "placements", "sheds", "refusals", "lost")
+	auditFailed := false
+	for i, mode := range modes {
+		c, err := fleet.New(buildConfig(mode))
+		if err != nil {
+			return fail(err)
+		}
+		if err := c.Run(); err != nil {
+			return fail(err)
+		}
+		fmt.Print(c.Report())
+		if *eventsN > 0 {
+			evs := c.Events()
+			lo := len(evs) - *eventsN
+			if lo < 0 {
+				lo = 0
+			}
+			fmt.Printf("--- %s: last %d fleet events ---\n", names[i], len(evs)-lo)
+			for _, e := range evs[lo:] {
+				fmt.Println(e)
+			}
+		}
+		if *audit {
+			rep := c.Audit()
+			fmt.Printf("%s %s\n", names[i], rep)
+			if !rep.OK() {
+				auditFailed = true
+			}
+		}
+		val := func(name string) uint64 {
+			v, _ := c.Registry().Value(name)
+			return uint64(v)
+		}
+		reqLat, _ := c.Registry().Hist("fleet.req_latency")
+		t.Row(names[i], c.Density(), reqLat.Quantile(0.50), reqLat.Quantile(0.99),
+			val("fleet.placements"), val("fleet.sheds"), val("fleet.place_fails"), val("fleet.lost"))
+		if i < len(modes)-1 {
+			fmt.Println()
+		}
+	}
+	fmt.Println(t)
+	if auditFailed {
+		fmt.Fprintln(os.Stderr, "bffleet: audit found invariant violations")
+		return 1
+	}
+	return 0
+}
+
+// fail reports a runtime error and selects the non-zero exit status.
+func fail(err error) int {
+	fmt.Fprintln(os.Stderr, "bffleet:", err)
+	return 1
+}
+
+// usageErr reports a flag mistake with the full usage text and exits
+// with status 2, mirroring the flag package's own error convention.
+func usageErr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "bffleet: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}

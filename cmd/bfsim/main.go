@@ -49,6 +49,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -91,7 +92,7 @@ func run() int {
 		audit       = flag.Bool("audit", false, "run the kernel invariant auditor (page tables + TLBs) after each run; exit non-zero on violations")
 		failNth     = flag.Uint64("failnth", 0, "fail every Nth frame allocation during the measured run (0 = off)")
 		failSeed    = flag.Uint64("failseed", 1, "fault-injector seed")
-		jobs        = flag.Int("jobs", 0, "run architectures on N parallel workers (0 = GOMAXPROCS, 1 = serial); output is identical at any width")
+		jobs        = flag.Int("jobs", 0, "run architectures on N parallel workers (default GOMAXPROCS, 1 = serial); output is identical at any width")
 		cpuprofile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
 		metricsOut  = flag.String("metrics-out", "", "write a JSON telemetry report to this file")
 		sampleEvery = flag.Uint64("sample-every", 0, "sample the metric registry every N simulated cycles (requires -metrics-out)")
@@ -141,13 +142,13 @@ func run() int {
 	if *traceN < 0 {
 		usageErr("-trace must be non-negative")
 	}
-	if *jobs < 0 {
-		usageErr("-jobs must be >= 0 (0 = GOMAXPROCS)")
-	}
 	if *sampleEvery > 0 && *metricsOut == "" {
 		usageErr("-sample-every requires -metrics-out (the time series is only emitted in the report)")
 	}
 	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "jobs" && *jobs <= 0 {
+			usageErr("-jobs must be positive (omit the flag for GOMAXPROCS)")
+		}
 		if f.Name == "failseed" && *failNth == 0 {
 			usageErr("-failseed has no effect without -failnth")
 		}
@@ -165,7 +166,7 @@ func run() int {
 		if *injectMemNth == 0 && *injectMemProb == 0 {
 			usageErr("-inject-mem needs a policy: set -inject-mem-nth and/or -inject-mem-prob")
 		}
-		if *injectMemProb < 0 || *injectMemProb >= 1 {
+		if *injectMemProb < 0 || *injectMemProb >= 1 || math.IsNaN(*injectMemProb) {
 			usageErr("-inject-mem-prob must be in [0, 1)")
 		}
 		mode := memsys.ModeDrop

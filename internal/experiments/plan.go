@@ -1,10 +1,6 @@
 package experiments
 
-import (
-	"fmt"
-	"runtime"
-	"sync"
-)
+import "babelfish/internal/par"
 
 // The parallel experiment engine.
 //
@@ -20,58 +16,20 @@ import (
 // byte-identical to a serial run: all randomness is seeded per cell from
 // Options.Seed, and the plan assembles results in declaration order, not
 // completion order.
-
-// cell is one independent unit of work in a plan.
-type cell struct {
-	label string
-	run   func() error
-}
+//
+// The bounded executor itself lives in internal/par (the fleet layer
+// steps its nodes on the same pool); plan keeps the engine's historical
+// lowercase spelling.
 
 // plan is an ordered list of cells plus the bounded executor.
 type plan struct {
-	cells []cell
+	par.Plan
 }
 
 // add appends a cell. The closure must write its result only into slots
 // it owns (typically one index of a slice sized up front).
-func (p *plan) add(label string, run func() error) {
-	p.cells = append(p.cells, cell{label: label, run: run})
-}
+func (p *plan) add(label string, run func() error) { p.Add(label, run) }
 
 // execute runs the cells on a worker pool of the given width. jobs <= 0
-// means GOMAXPROCS. The serial path (jobs == 1) aborts at the first
-// failing cell; the parallel path runs every cell and then reports the
-// failure of the lowest-indexed failing cell, so the returned error is
-// deterministic regardless of scheduling.
-func (p *plan) execute(jobs int) error {
-	if jobs <= 0 {
-		jobs = runtime.GOMAXPROCS(0)
-	}
-	if jobs == 1 || len(p.cells) <= 1 {
-		for i := range p.cells {
-			if err := p.cells[i].run(); err != nil {
-				return fmt.Errorf("%s: %w", p.cells[i].label, err)
-			}
-		}
-		return nil
-	}
-	errs := make([]error, len(p.cells))
-	sem := make(chan struct{}, jobs)
-	var wg sync.WaitGroup
-	for i := range p.cells {
-		sem <- struct{}{}
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			errs[i] = p.cells[i].run()
-		}(i)
-	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return fmt.Errorf("%s: %w", p.cells[i].label, err)
-		}
-	}
-	return nil
-}
+// means GOMAXPROCS; errors resolve to the lowest-indexed failing cell.
+func (p *plan) execute(jobs int) error { return p.Execute(jobs) }

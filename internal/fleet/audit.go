@@ -1,0 +1,120 @@
+package fleet
+
+import "fmt"
+
+// AuditReport is the result of a fleet invariant audit.
+type AuditReport struct {
+	Violations []string
+
+	NodesAudited      int // up nodes whose machine books were checked
+	ContainersChecked int
+	FramesChecked     int // allocated frames verified across all up nodes
+	TLBEntriesChecked int // TLB entries cross-checked across all up nodes
+}
+
+// OK reports whether the audit found no violations.
+func (r AuditReport) OK() bool { return len(r.Violations) == 0 }
+
+// String renders the report for CLI output.
+func (r AuditReport) String() string {
+	s := fmt.Sprintf("fleet audit: %d nodes, %d containers, %d frames, %d TLB entries checked, %d violations",
+		r.NodesAudited, r.ContainersChecked, r.FramesChecked, r.TLBEntriesChecked, len(r.Violations))
+	for _, v := range r.Violations {
+		s += "\n  - " + v
+	}
+	return s
+}
+
+func (r *AuditReport) violate(format string, args ...interface{}) {
+	r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+}
+
+// Audit checks the fleet invariants at a quiesce point (between Steps or
+// after Run):
+//
+//   - no container is lost (retry-budget exhaustion is a violation, not
+//     an accepted outcome);
+//   - no container is double-placed: at most one live task on the nodes
+//     the controller considers part of the cluster (a stale task on a
+//     condemned node is the expected pre-fencing state, but a stale live
+//     task on any non-condemned node means fencing was missed);
+//   - every assigned container is reachable: its node is up and actually
+//     hosts its task, and a healthy node never holds an assignment
+//     without a live task (reconciliation missed it);
+//   - every up node's machine books balance: kernel refcount audit,
+//     physmem allocator audit and the TLB cross-check all come back
+//     clean, reported with a "node N:" prefix.
+func (c *Cluster) Audit() AuditReport {
+	var r AuditReport
+
+	// Ground-truth scan of node-local placements.
+	liveOn := make(map[int][]int) // container ID -> non-condemned nodes running it
+	for _, n := range c.nodes {
+		for _, p := range n.placed {
+			if p.task.Done {
+				continue
+			}
+			if p.ct.Node != n.id && n.hlth != Condemned {
+				r.violate("container %d: stale live task on %s node %d (assigned to node %d; fence missed)",
+					p.ct.ID, n.hlth, n.id, p.ct.Node)
+			}
+			if n.hlth != Condemned {
+				liveOn[p.ct.ID] = append(liveOn[p.ct.ID], n.id)
+			}
+		}
+	}
+
+	for _, ct := range c.containers {
+		r.ContainersChecked++
+		if ct.Lost {
+			r.violate("container %d: lost (retry budget exhausted)", ct.ID)
+			continue
+		}
+		if nodes := liveOn[ct.ID]; len(nodes) > 1 {
+			r.violate("container %d: double-placed, live on nodes %v", ct.ID, nodes)
+		}
+		if ct.Node < 0 {
+			continue
+		}
+		n := c.nodes[ct.Node]
+		if ct.Running() {
+			hosted := false
+			if n.state == NodeUp {
+				for _, p := range n.placed {
+					if p.ct == ct && p.task == ct.task {
+						hosted = true
+						break
+					}
+				}
+			}
+			if !hosted {
+				r.violate("container %d: assigned to node %d but not hosted there", ct.ID, ct.Node)
+			}
+		} else if n.state == NodeUp && n.hlth == Healthy {
+			r.violate("container %d: assigned to healthy node %d without a live task", ct.ID, ct.Node)
+		}
+	}
+
+	// Per-node machine books.
+	for _, n := range c.nodes {
+		if n.state != NodeUp {
+			continue
+		}
+		r.NodesAudited++
+		k := n.m.Kernel.Audit()
+		r.FramesChecked += k.FramesChecked
+		for _, v := range k.Violations {
+			r.violate("node %d: kernel: %s", n.id, v)
+		}
+		p := n.m.Mem.Audit()
+		for _, v := range p.Violations {
+			r.violate("node %d: physmem: %s", n.id, v)
+		}
+		t := n.m.AuditTLBs()
+		r.TLBEntriesChecked += t.TLBEntriesChecked
+		for _, v := range t.Violations {
+			r.violate("node %d: tlb: %s", n.id, v)
+		}
+	}
+	return r
+}

@@ -1,0 +1,207 @@
+package fleet
+
+import (
+	"fmt"
+
+	"babelfish/internal/memsys"
+	"babelfish/internal/sim"
+	"babelfish/internal/workloads"
+)
+
+// NodeState is a node's ground-truth lifecycle state (what the hardware
+// is doing, regardless of what the controller believes).
+type NodeState int
+
+const (
+	// NodeUp: the machine exists and steps every epoch.
+	NodeUp NodeState = iota
+	// NodeDown: crashed; the machine is gone. Restarts RestartEpochs
+	// after the crash with a fresh, empty machine.
+	NodeDown
+)
+
+func (s NodeState) String() string {
+	if s == NodeDown {
+		return "down"
+	}
+	return "up"
+}
+
+// Health is the controller's view of a node, driven entirely by
+// heartbeats — the controller never peeks at ground truth.
+type Health int
+
+const (
+	// Healthy: heartbeat received in the current epoch.
+	Healthy Health = iota
+	// Suspect: at least one heartbeat missed, suspicion timer running.
+	Suspect
+	// Condemned: the suspicion timeout expired. The node's containers
+	// were queued for re-placement; if the node ever heartbeats again it
+	// must fence its stale containers before rejoining.
+	Condemned
+)
+
+func (h Health) String() string {
+	switch h {
+	case Suspect:
+		return "suspect"
+	case Condemned:
+		return "condemned"
+	}
+	return "healthy"
+}
+
+// node is one member of the cluster: a sim.Machine plus lifecycle and
+// fault state. The per-node crash/partition injectors reuse the memsys
+// injector (pure in (config, seq), pulsed once per epoch); their seeds
+// are mixed and their sequences phase-staggered by node ID in New so
+// faults don't strike the whole fleet in lockstep.
+type node struct {
+	id    int
+	state NodeState
+	hlth  Health
+
+	m   *sim.Machine
+	dep *workloads.Deployment
+	// incarnation counts machine builds (restarts); it salts the
+	// deployment seed so every incarnation lays out afresh but
+	// deterministically.
+	incarnation int
+
+	crash *memsys.Injector
+	part  *memsys.Injector
+
+	partitionedUntil int // heartbeats resume at this epoch (0 = not partitioned)
+	restartAt        int // NodeDown only: epoch the node comes back
+	downSince        int // NodeDown only: crash epoch (downtime accounting)
+	lastSeen         int // last epoch the controller received a heartbeat
+	degradedUntil    int // admissions closed until this epoch
+
+	// placed holds the node-local placements in placement order. After a
+	// condemnation the entries are stale (the controller re-placed the
+	// containers elsewhere) and are fenced at rejoin.
+	placed []placement
+
+	placeSeq int    // round-robin core pointer for placements
+	oomSeen  uint64 // machine OOM kills already absorbed by the fleet
+}
+
+// placement ties a container to the task its current (or stale)
+// incarnation runs on this node. The task pointer is the node-local
+// ground truth; Container.task is the controller's view — they diverge
+// exactly when a condemned node still runs a container the controller
+// has re-placed, which is what fencing resolves.
+type placement struct {
+	ct   *Container
+	task *sim.Task
+}
+
+// partitioned reports whether the node's link is cut at the given epoch.
+func (n *node) partitioned(epoch int) bool { return epoch < n.partitionedUntil }
+
+// admits reports whether the controller may place a container here:
+// the node looked alive this epoch, is not condemned or degraded, has
+// headroom under the per-node cap, and its free memory is above the
+// admission watermark.
+func (n *node) admits(c *Cluster, epoch int) bool {
+	if n.state != NodeUp || n.hlth != Healthy || n.lastSeen != epoch {
+		return false
+	}
+	if epoch < n.degradedUntil {
+		return false
+	}
+	if len(n.running()) >= c.cfg.MaxPerNode {
+		return false
+	}
+	return n.freeFrac() >= c.cfg.MinFreeFrac
+}
+
+// freeFrac is the node's free-frame fraction (0 when down).
+func (n *node) freeFrac() float64 {
+	if n.m == nil {
+		return 0
+	}
+	return float64(n.m.Mem.FreeFrames()) / float64(n.m.Mem.NumFrames())
+}
+
+// running returns the containers with a live local task on this node,
+// in placement order.
+func (n *node) running() []*Container {
+	var out []*Container
+	for _, p := range n.placed {
+		if !p.task.Done {
+			out = append(out, p.ct)
+		}
+	}
+	return out
+}
+
+// buildMachine constructs the node's machine for a new incarnation.
+func (n *node) buildMachine(c *Cluster) {
+	p := c.cfg.Params
+	n.m = sim.New(p)
+	if c.cfg.NodeTelemetry {
+		n.m.EnableTelemetry(0)
+	}
+	n.dep = nil
+	n.incarnation++
+	n.placed = nil
+	n.placeSeq = 0
+	n.oomSeen = 0
+}
+
+// deployment lazily deploys the cluster's app on this node's machine
+// (files, CCID group, template process — shared by every container the
+// node hosts).
+func (n *node) deployment(c *Cluster) (*workloads.Deployment, error) {
+	if n.dep != nil {
+		return n.dep, nil
+	}
+	seed := c.cfg.Seed + uint64(n.id)*1_000_003 + uint64(n.incarnation)*7919
+	d, err := workloads.Deploy(n.m, c.cfg.Spec, c.cfg.Scale, seed)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: node %d deploy: %w", n.id, err)
+	}
+	n.dep = d
+	return d, nil
+}
+
+// dropPlacement removes a container's placement entry from the node.
+func (n *node) dropPlacement(ct *Container) {
+	for i := range n.placed {
+		if n.placed[i].ct == ct {
+			n.placed = append(n.placed[:i], n.placed[i+1:]...)
+			return
+		}
+	}
+}
+
+// Container is one unit of fleet work: a container the cluster must
+// keep running somewhere. Its identity is stable across re-placements;
+// each placement spawns a fresh process (stateless-service semantics).
+type Container struct {
+	// ID is the fleet-wide identity (0..Containers-1).
+	ID int
+	// Node is the node currently assigned by the controller (-1 while
+	// pending in the re-placement queue).
+	Node int
+	// Attempts counts placement attempts since the container last lost
+	// its home; the backoff doubles with each failure.
+	Attempts int
+	// NextTry is the earliest epoch the scheduler retries placement.
+	NextTry int
+	// QueuedAt is the epoch the container entered the queue (downtime
+	// and re-placement-delay accounting).
+	QueuedAt int
+	// Placements counts successful placements over the container's life.
+	Placements int
+	// Lost marks a container whose retry budget ran out — an auditor
+	// violation.
+	Lost bool
+
+	task *sim.Task
+}
+
+// Running reports whether the container currently has a live task.
+func (ct *Container) Running() bool { return ct.Node >= 0 && ct.task != nil && !ct.task.Done }

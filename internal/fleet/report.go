@@ -1,0 +1,50 @@
+package fleet
+
+import (
+	"fmt"
+	"strings"
+
+	"babelfish/internal/telemetry"
+)
+
+// Report renders the run: configuration, event tallies, latency
+// quantiles and the final fleet state. Deterministic — two runs with
+// the same Config produce byte-identical reports at any Jobs width.
+func (c *Cluster) Report() string {
+	var b strings.Builder
+	arch := "baseline"
+	if c.cfg.Params.MMU.BabelFish {
+		arch = "babelfish"
+	}
+	fmt.Fprintf(&b, "fleet: %d nodes (%s, %d cores, %d MB), %d containers (%s, scale %g), %d epochs x %d instr, seed %d\n",
+		c.cfg.Nodes, arch, c.cfg.Params.Cores, c.cfg.Params.MemBytes>>20,
+		c.cfg.Containers, c.cfg.Spec.Name, c.cfg.Scale,
+		c.cfg.Epochs, c.cfg.EpochInstr, c.cfg.Seed)
+	fmt.Fprintf(&b, "faults:    crashes %d, restarts %d, partitions %d, heals %d\n",
+		c.ctr.crashes, c.ctr.restarts, c.ctr.partitions, c.ctr.heals)
+	fmt.Fprintf(&b, "detector:  suspects %d, condemned %d, rejoins %d, heartbeat misses %d\n",
+		c.ctr.suspects, c.ctr.condemned, c.ctr.rejoins, c.ctr.heartbeatMisses)
+	fmt.Fprintf(&b, "scheduler: queued %d, placements %d, refusals %d, sheds %d, fences %d, oom escalations %d, degradations %d, lost %d\n",
+		c.ctr.queued, c.ctr.placements, c.ctr.placeFails, c.ctr.sheds,
+		c.ctr.fences, c.ctr.oomEscalations, c.ctr.degradations, c.ctr.lost)
+	histLine(&b, "replace delay", c.histReplace, "epochs")
+	histLine(&b, "node downtime", c.histDowntime, "epochs")
+	histLine(&b, "req latency", c.histReqLat, "cycles")
+	if c.cfg.NodeTelemetry {
+		histLine(&b, "xlat latency", c.histXlat, "cycles")
+	}
+	fmt.Fprintf(&b, "final:     %d/%d nodes up, %d running, %d pending, %d lost; mean density %.3f containers/node; %d events\n",
+		c.upCount(), c.cfg.Nodes, c.runningCount(), c.pendingCount(),
+		int(c.ctr.lost), c.Density(), len(c.events))
+	return b.String()
+}
+
+// histLine renders one histogram's count/p50/p99/max summary.
+func histLine(b *strings.Builder, label string, h *telemetry.Hist, unit string) {
+	if h.Count() == 0 {
+		fmt.Fprintf(b, "%-10s no samples\n", label+":")
+		return
+	}
+	fmt.Fprintf(b, "%-10s count %d, p50 %.0f, p99 %.0f, max %d %s\n",
+		label+":", h.Count(), h.Quantile(0.50), h.Quantile(0.99), h.Max(), unit)
+}

@@ -1,0 +1,60 @@
+package fleet
+
+import "babelfish/internal/telemetry"
+
+// registerMetrics builds the fleet registry: one counter per event
+// tally, gauges over the live control-plane state, and the four
+// log2 histograms the report quotes p50/p99 from. Pull-based like the
+// machine registry — probes read the cluster's own counters on demand,
+// so the control loop pays nothing for telemetry's existence.
+func (c *Cluster) registerMetrics() {
+	r := telemetry.NewRegistry()
+	c.reg = r
+	ctr := func(name, help string, p *uint64) {
+		r.Counter("fleet."+name, "events", help, func() uint64 { return *p })
+	}
+	ctr("crashes", "node crash faults injected", &c.ctr.crashes)
+	ctr("restarts", "crashed nodes brought back up", &c.ctr.restarts)
+	ctr("partitions", "network partitions injected", &c.ctr.partitions)
+	ctr("heals", "partitions healed", &c.ctr.heals)
+	ctr("suspects", "nodes suspected after a missed heartbeat", &c.ctr.suspects)
+	ctr("condemned", "nodes condemned by the suspicion timeout", &c.ctr.condemned)
+	ctr("rejoins", "condemned nodes readmitted after fencing", &c.ctr.rejoins)
+	ctr("heartbeat_misses", "heartbeats that failed to arrive", &c.ctr.heartbeatMisses)
+	ctr("queued", "containers sent to the re-placement queue", &c.ctr.queued)
+	ctr("placements", "successful container placements", &c.ctr.placements)
+	ctr("place_fails", "placement attempts refused by every node", &c.ctr.placeFails)
+	ctr("sheds", "containers shed from overloaded nodes", &c.ctr.sheds)
+	ctr("fences", "stale containers killed at node rejoin", &c.ctr.fences)
+	ctr("oom_escalations", "node OOM kills absorbed as escalations", &c.ctr.oomEscalations)
+	ctr("degradations", "admission-control degradation windows opened", &c.ctr.degradations)
+	ctr("lost", "containers lost to retry-budget exhaustion", &c.ctr.lost)
+
+	r.Gauge("fleet.nodes_up", "nodes", "nodes currently up",
+		func() float64 { return float64(c.upCount()) })
+	r.Gauge("fleet.containers_running", "containers", "containers with a live task",
+		func() float64 { return float64(c.runningCount()) })
+	r.Gauge("fleet.containers_pending", "containers", "containers waiting in the queue",
+		func() float64 { return float64(c.pendingCount()) })
+	r.Gauge("fleet.density", "containers/node", "mean running containers per up node over the run",
+		func() float64 { return c.Density() })
+
+	c.histReplace = r.Histogram("fleet.replace_delay", "epochs",
+		"queue-to-placed delay of successful placements")
+	c.histDowntime = r.Histogram("fleet.node_downtime", "epochs",
+		"crash-to-restart downtime per node restart")
+	c.histReqLat = r.Histogram("fleet.req_latency", "cycles",
+		"request latency across all containers (surviving machines)")
+	c.histXlat = r.Histogram("fleet.xlat_latency", "cycles",
+		"translation latency merged from per-node machines (NodeTelemetry)")
+}
+
+// Density is the mean number of running containers per up node,
+// averaged over completed epochs — the fleet-level consolidation metric
+// BabelFish's page and PTE sharing moves.
+func (c *Cluster) Density() float64 {
+	if c.sumUp == 0 {
+		return 0
+	}
+	return float64(c.sumRunning) / float64(c.sumUp)
+}

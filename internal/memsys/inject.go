@@ -148,6 +148,17 @@ func (in *Injector) Fire() bool {
 	return hit
 }
 
+// Skip advances the event sequence by n without evaluating the fault
+// policy. Fleets of injectors sharing one config use it to phase-stagger
+// Nth-mode patterns across instances (node i skips i events at arm
+// time, so every-Nth faults roll across the fleet instead of striking
+// every member in the same epoch). Nil-safe.
+func (in *Injector) Skip(n uint64) {
+	if in != nil {
+		in.seq += n
+	}
+}
+
 // Mode returns the configured fault mode (drop for a nil injector).
 func (in *Injector) Mode() Mode {
 	if in == nil {

@@ -73,6 +73,16 @@ func (h *Histogram) Max() float64 { return h.Percentile(100) }
 // Min returns the smallest sample.
 func (h *Histogram) Min() float64 { return h.Percentile(0) }
 
+// Each calls fn for every recorded sample. Order is unspecified (a
+// Percentile call sorts the backing slice in place); aggregations that
+// feed order-insensitive sinks — bucketed histograms, sums — are the
+// intended use.
+func (h *Histogram) Each(fn func(float64)) {
+	for _, v := range h.samples {
+		fn(v)
+	}
+}
+
 // Merge adds every sample of other into h.
 func (h *Histogram) Merge(other *Histogram) {
 	for _, v := range other.samples {

@@ -1,0 +1,81 @@
+package par_test
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"babelfish/internal/par"
+)
+
+// TestExecuteRunsEveryUnit checks that all units run at every pool width
+// and that per-slot results land where their unit wrote them.
+func TestExecuteRunsEveryUnit(t *testing.T) {
+	for _, jobs := range []int{0, 1, 2, 7} {
+		var p par.Plan
+		out := make([]int, 20)
+		for i := 0; i < len(out); i++ {
+			i := i
+			p.Add(fmt.Sprintf("unit%d", i), func() error {
+				out[i] = i * i
+				return nil
+			})
+		}
+		if p.Len() != len(out) {
+			t.Fatalf("Len = %d, want %d", p.Len(), len(out))
+		}
+		if err := p.Execute(jobs); err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("jobs=%d: slot %d = %d, want %d", jobs, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestExecuteReportsLowestIndexedError checks the deterministic error
+// contract: with several failing units, the lowest-indexed failure is
+// reported regardless of scheduling.
+func TestExecuteReportsLowestIndexedError(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	for _, jobs := range []int{1, 4} {
+		var p par.Plan
+		p.Add("ok", func() error { return nil })
+		p.Add("first-bad", func() error { return errA })
+		p.Add("second-bad", func() error { return errB })
+		err := p.Execute(jobs)
+		if !errors.Is(err, errA) {
+			t.Fatalf("jobs=%d: got %v, want the lowest-indexed failure %v", jobs, err, errA)
+		}
+	}
+}
+
+// TestExecuteBoundsWorkers verifies the pool never exceeds its width.
+func TestExecuteBoundsWorkers(t *testing.T) {
+	const jobs = 3
+	var p par.Plan
+	var cur, peak int64
+	for i := 0; i < 24; i++ {
+		p.Add("unit", func() error {
+			n := atomic.AddInt64(&cur, 1)
+			for {
+				old := atomic.LoadInt64(&peak)
+				if n <= old || atomic.CompareAndSwapInt64(&peak, old, n) {
+					break
+				}
+			}
+			atomic.AddInt64(&cur, -1)
+			return nil
+		})
+	}
+	if err := p.Execute(jobs); err != nil {
+		t.Fatal(err)
+	}
+	if got := atomic.LoadInt64(&peak); got > jobs {
+		t.Fatalf("peak concurrency %d exceeds jobs=%d", got, jobs)
+	}
+}

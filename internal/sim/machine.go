@@ -569,6 +569,21 @@ func (m *Machine) oomKill(c *Core, t *Task, err error) bool {
 // OOMKills reports how many tasks the OOM killer has terminated.
 func (m *Machine) OOMKills() uint64 { return m.oomKills }
 
+// KillTask terminates a task from outside the scheduler — the fleet
+// layer's shed/fence/admission-rollback paths. The task is marked done
+// and its process exited, so its frames return to the pool and its
+// translations are flushed on every core. Idempotent; safe between Run
+// calls (never from inside a running quantum).
+func (m *Machine) KillTask(t *Task) {
+	if !t.Done {
+		t.Done = true
+		t.FinishCycles = t.Cycles
+	}
+	if !t.Proc.Dead() {
+		t.Proc.Exit()
+	}
+}
+
 // RunTaskOnly executes a single task to completion, giving it dedicated
 // quanta on its core (used to time container bring-up in isolation).
 func (m *Machine) RunTaskOnly(t *Task) error {

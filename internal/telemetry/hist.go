@@ -105,6 +105,23 @@ func bucketBounds(i int) (lo, hi float64) {
 	return float64(uint64(1) << (i - 1)), float64(uint64(1)<<i) - 1
 }
 
+// Merge folds other's observations into h bucket by bucket — the
+// fleet-wide roll-up of per-node machine histograms. Exact: log2
+// buckets of the same index aggregate losslessly.
+func (h *Hist) Merge(other *Hist) {
+	if other == nil {
+		return
+	}
+	for i, n := range other.buckets {
+		h.buckets[i] += n
+	}
+	h.count += other.count
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+}
+
 // Reset discards all observations.
 func (h *Hist) Reset() {
 	*h = Hist{name: h.name, unit: h.unit, help: h.help}

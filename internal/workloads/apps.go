@@ -270,17 +270,28 @@ func mapChunks(p *kernel.Process, r kernel.Region, mapOne func(sub kernel.Region
 // during real warm-up, breaking their CoW); everything else is
 // read-prefaulted.
 func (d *Deployment) PrefaultAll() error {
-	k := d.M.Kernel
 	for _, p := range d.Containers {
-		for _, vma := range p.VMAs() {
-			if d.Spec.SkipDatasetPrefault && vma.File == d.Dataset {
-				continue
-			}
-			write := vma.Perm.CanWrite() && vma.Private
-			for gva := vma.Start; gva < vma.End; gva += memdefs.PageSize {
-				if _, err := k.HandleFault(p.PID, p.ProcVA(gva), write, memdefs.AccessData); err != nil {
-					return fmt.Errorf("prefault %s at %#x: %w", vma.Name, gva, err)
-				}
+		if err := d.PrefaultContainer(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PrefaultContainer populates one container's translations (see
+// PrefaultAll). The fleet layer calls it per placement: containers
+// arrive on a node one at a time, and a prefault that runs out of
+// memory is an admission failure for that container alone.
+func (d *Deployment) PrefaultContainer(p *kernel.Process) error {
+	k := d.M.Kernel
+	for _, vma := range p.VMAs() {
+		if d.Spec.SkipDatasetPrefault && vma.File == d.Dataset {
+			continue
+		}
+		write := vma.Perm.CanWrite() && vma.Private
+		for gva := vma.Start; gva < vma.End; gva += memdefs.PageSize {
+			if _, err := k.HandleFault(p.PID, p.ProcVA(gva), write, memdefs.AccessData); err != nil {
+				return fmt.Errorf("prefault %s at %#x: %w", vma.Name, gva, err)
 			}
 		}
 	}

@@ -1,36 +1,69 @@
 #!/usr/bin/env bash
 # bench.sh — the per-PR bench runner: measures the translation hot path
-# (go test -bench) and the full quick-scale experiment suite serial vs
-# parallel, verifies the parallel run is byte-identical, and emits a
-# machine-readable BENCH_<n>.json extending the perf trajectory. The
-# previous PR's BENCH_<n-1>.json, when present, is embedded as the
-# before_this_pr baseline so regressions are visible in one file.
+# and the fleet control loop (go test -bench) and the full quick-scale
+# experiment suite serial vs parallel, verifies the parallel run is
+# byte-identical, and emits a machine-readable BENCH_<n>.json extending
+# the perf trajectory. The previous PR's BENCH_<n-1>.json is required —
+# it is embedded as the before_this_pr baseline so regressions are
+# visible in one file; a missing or malformed baseline aborts the run
+# rather than silently emitting a trajectory with a hole in it.
 #
 # Usage: scripts/bench.sh [output.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_4.json}
+out=${1:-BENCH_5.json}
 pr=$(basename "$out" .json | sed 's/^BENCH_//')
 prev="BENCH_$((pr - 1)).json"
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
-echo "== micro-benchmarks (internal/sim + facade) =="
+# The baseline is checked before spending minutes benchmarking.
+if [ ! -f "$prev" ]; then
+    echo "bench.sh: previous baseline $prev not found." >&2
+    echo "bench.sh: the perf trajectory needs the pre-PR numbers; check out the" >&2
+    echo "bench.sh: previous PR's $prev (or pass the right output name, e.g." >&2
+    echo "bench.sh: 'scripts/bench.sh BENCH_$pr.json' expects $prev beside it)." >&2
+    exit 1
+fi
+before=$(awk '/"benchmarks_ns_per_op": \{/,/\}/' "$prev" | sed '1d;$d')
+if [ -z "$before" ]; then
+    echo "bench.sh: $prev is malformed: no benchmarks_ns_per_op object found." >&2
+    echo "bench.sh: regenerate it at the pre-PR tree before benchmarking this one." >&2
+    exit 1
+fi
+if echo "$before" | grep -Evq '^\s*"[^"]+": [0-9]+(\.[0-9]+)?,?\s*$'; then
+    echo "bench.sh: $prev is malformed: benchmarks_ns_per_op has non-numeric entries:" >&2
+    echo "$before" | grep -Ev '^\s*"[^"]+": [0-9]+(\.[0-9]+)?,?\s*$' >&2
+    exit 1
+fi
+before_note="measured at the pre-PR tree ($prev), same benchmarks"
+
+echo "== micro-benchmarks (internal/sim + facade + fleet) =="
 go test -run '^$' -bench 'BenchmarkTranslate$|BenchmarkMachineRun' \
     -benchtime 1s ./internal/sim/ | tee "$tmp/bench_sim.txt"
 go test -run '^$' -bench 'BenchmarkTLBLookup$|BenchmarkTranslateWalk$' \
     -benchtime 1s . | tee "$tmp/bench_root.txt"
+go test -run '^$' -bench 'BenchmarkFleetEpoch$' \
+    -benchtime 1s ./internal/fleet/ | tee "$tmp/bench_fleet.txt"
 
-# ns_of NAME FILE — ns/op of one benchmark line ("Name-8  N  12.3 ns/op").
+# ns_of NAME FILE — ns/op of one benchmark line ("Name-8  N  12.3 ns/op");
+# fails loudly when the benchmark did not produce a number.
 ns_of() {
-    awk -v name="$1" '$1 ~ "^"name"(-[0-9]+)?$" { print $3; exit }' "$2"
+    local ns
+    ns=$(awk -v name="$1" '$1 ~ "^"name"(-[0-9]+)?$" { print $3; exit }' "$2")
+    if [ -z "$ns" ]; then
+        echo "bench.sh: benchmark $1 produced no ns/op line in $2" >&2
+        exit 1
+    fi
+    echo "$ns"
 }
 ns_translate=$(ns_of BenchmarkTranslate "$tmp/bench_sim.txt")
 ns_run_base=$(ns_of 'BenchmarkMachineRun/Baseline' "$tmp/bench_sim.txt")
 ns_run_bf=$(ns_of 'BenchmarkMachineRun/BabelFish' "$tmp/bench_sim.txt")
 ns_tlb=$(ns_of BenchmarkTLBLookup "$tmp/bench_root.txt")
 ns_walk=$(ns_of BenchmarkTranslateWalk "$tmp/bench_root.txt")
+ns_fleet=$(ns_of BenchmarkFleetEpoch "$tmp/bench_fleet.txt")
 
 echo "== experiment suite wall-clock: jobs=1 vs jobs=4 =="
 go build -o "$tmp/bfbench" ./cmd/bfbench
@@ -52,15 +85,18 @@ if ! cmp -s "$tmp/serial.json" "$tmp/par.json"; then
 fi
 echo "serial ${serial_s}s, jobs=4 ${par_s}s (speedup ${speedup}x), identical=$identical"
 
-# Previous PR's numbers become this file's baseline (inner lines of its
-# benchmarks_ns_per_op object, verbatim).
-if [ -f "$prev" ]; then
-    before=$(awk '/"benchmarks_ns_per_op": \{/,/\}/' "$prev" | sed '1d;$d')
-    before_note="measured at the pre-PR tree ($prev), same benchmarks"
-else
-    before=""
-    before_note="no $prev found; first measured PR"
+echo "== fleet chaos replay: seeded node kills, jobs=1 vs jobs=4 =="
+go build -o "$tmp/bffleet" ./cmd/bffleet
+fleet_flags=(-arch babelfish -nodes 8 -containers 16 -epochs 24
+             -kill-nth 9 -kill-max 1 -part-nth 13 -part-max 1 -audit)
+"$tmp/bffleet" "${fleet_flags[@]}" -jobs 1 > "$tmp/fleet_serial.txt"
+"$tmp/bffleet" "${fleet_flags[@]}" -jobs 4 > "$tmp/fleet_par.txt"
+fleet_identical=true
+if ! cmp -s "$tmp/fleet_serial.txt" "$tmp/fleet_par.txt"; then
+    fleet_identical=false
+    echo "FAIL: fleet chaos run diverges between jobs=1 and jobs=4" >&2
 fi
+echo "fleet chaos replay identical=$fleet_identical"
 
 ncpu=$(nproc 2>/dev/null || echo 1)
 cat > "$out" <<EOF
@@ -79,18 +115,23 @@ cat > "$out" <<EOF
     "output_identical": $identical,
     "note": "cells are independent machines, so the jobs=4 speedup scales with host CPUs; this run used a ${ncpu}-CPU host"
   },
+  "fleet": {
+    "command": "bffleet ${fleet_flags[*]}",
+    "replay_identical": $fleet_identical
+  },
   "benchmarks_ns_per_op": {
     "BenchmarkTranslate": $ns_translate,
     "BenchmarkMachineRun/Baseline": $ns_run_base,
     "BenchmarkMachineRun/BabelFish": $ns_run_bf,
     "BenchmarkTLBLookup": $ns_tlb,
-    "BenchmarkTranslateWalk": $ns_walk
+    "BenchmarkTranslateWalk": $ns_walk,
+    "BenchmarkFleetEpoch": $ns_fleet
   },
   "before_this_pr_ns_per_op": {
-    "note": "$before_note"$([ -n "$before" ] && echo ,)
+    "note": "$before_note",
 $before
   }
 }
 EOF
 echo "wrote $out"
-[ "$identical" = true ]
+[ "$identical" = true ] && [ "$fleet_identical" = true ]
