@@ -5,9 +5,18 @@
 //
 //	bfbench [-exp all|tableI|fig9|fig10a|fig10b|fig11|tableII|tableIII|largertlb|bringup|resources]
 //	        [-cores N] [-scale F] [-warm N] [-measure N] [-seed N] [-quick]
+//	        [-trace-out FILE] [-flight-depth N]
 //
 // Each experiment prints rows shaped like the paper's; the headers quote
 // the paper's numbers for comparison.
+//
+// -trace-out FILE exports one span per executed experiment cell
+// (architecture × app × config) after the run — Chrome trace-event JSON
+// for Perfetto, or compact JSONL when FILE ends in .jsonl — showing how
+// each experiment decomposed into its plan; -flight-depth N sizes the
+// span ring. The per-run -series-out and -flight-recorder facilities
+// live in bfsim and bffleet, which own a single machine or cluster;
+// bfbench rejects those flags and points there.
 package main
 
 import (
@@ -17,6 +26,7 @@ import (
 	"strings"
 
 	"babelfish/internal/experiments"
+	"babelfish/internal/obs"
 )
 
 func main() {
@@ -30,13 +40,28 @@ func main() {
 		quick   = flag.Bool("quick", false, "use the reduced smoke-test options")
 		format  = flag.String("format", "text", "output format: text, json or markdown (json/markdown run all experiments)")
 		jobs    = flag.Int("jobs", 0, "parallel experiment cells (default GOMAXPROCS, 1 = serial); output is identical at any width")
+
+		traceOut    = flag.String("trace-out", "", "export one span per experiment cell after the run (Chrome trace JSON; .jsonl for compact JSONL)")
+		seriesOut   = flag.String("series-out", "", "unsupported here; bfsim and bffleet stream time series")
+		flightDir   = flag.String("flight-recorder", "", "unsupported here; bfsim and bffleet write post-mortem bundles")
+		flightDepth = flag.Int("flight-depth", 0, "span-ring depth for -trace-out (0 = default)")
 	)
 	flag.Parse()
+	if *seriesOut != "" {
+		usageErr("-series-out is not supported by bfbench (experiment cells are snapshots, not streams); use bfsim or bffleet")
+	}
+	if *flightDir != "" {
+		usageErr("-flight-recorder is not supported by bfbench; use bfsim or bffleet, which own the failing machine or cluster")
+	}
+	if *flightDepth < 0 {
+		usageErr("-flight-depth must be non-negative")
+	}
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "jobs" && *jobs <= 0 {
-			fmt.Fprintln(os.Stderr, "bfbench: -jobs must be positive (omit the flag for GOMAXPROCS)")
-			flag.Usage()
-			os.Exit(2)
+			usageErr("-jobs must be positive (omit the flag for GOMAXPROCS)")
+		}
+		if f.Name == "flight-depth" && *traceOut == "" {
+			usageErr("-flight-depth has no effect without -trace-out")
 		}
 	})
 
@@ -61,6 +86,24 @@ func main() {
 	}
 	o.Jobs = *jobs
 
+	var cellRec *obs.Recorder
+	if *traceOut != "" {
+		cellRec = obs.NewRecorder(o.Seed, obs.ControlScope, obs.Options{Depth: *flightDepth}.RingDepth())
+		experiments.SetObsRecorder(cellRec)
+	}
+	writeTrace := func() {
+		if cellRec == nil {
+			return
+		}
+		streams := []obs.Stream{{Name: "cells", Spans: cellRec.Spans()}}
+		if err := obs.WriteTraceFile(*traceOut, "bfbench", streams); err != nil {
+			fmt.Fprintln(os.Stderr, "bfbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "bfbench: trace (schema v%d, %d cells) written to %s\n",
+			obs.TraceSchemaVersion, cellRec.Total(), *traceOut)
+	}
+
 	if *format == "json" || *format == "markdown" {
 		rep, err := experiments.RunAll(o)
 		if err != nil {
@@ -76,12 +119,22 @@ func main() {
 			fmt.Fprintln(os.Stderr, "bfbench:", err)
 			os.Exit(1)
 		}
+		writeTrace()
 		return
 	}
 	if err := run(strings.ToLower(*exp), o); err != nil {
 		fmt.Fprintln(os.Stderr, "bfbench:", err)
 		os.Exit(1)
 	}
+	writeTrace()
+}
+
+// usageErr reports a flag mistake with the full usage text and exits
+// with status 2, mirroring the flag package's own error convention.
+func usageErr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "bfbench: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
 }
 
 func run(exp string, o experiments.Options) error {

@@ -15,6 +15,8 @@
 //	        [-backoff-base N] [-backoff-cap N] [-retry-budget N]
 //	        [-max-per-node N] [-min-free F] [-shed-free F] [-degrade-epochs N]
 //	        [-jobs N] [-audit] [-events N] [-node-telemetry]
+//	        [-trace-out FILE] [-series-out FILE] [-series-every N]
+//	        [-flight-recorder DIR] [-flight-depth N]
 //
 // The -kill-* and -part-* flags arm per-node crash and partition
 // injectors with the memory-system injector's policy shape: every Nth
@@ -31,6 +33,23 @@
 // any violation. -events N prints the last N audit-log events. -jobs
 // bounds the worker pool stepping node machines (0 = GOMAXPROCS);
 // output is identical at any width.
+//
+// -trace-out FILE exports the run's causal spans (fleet request →
+// placement → node epoch → quantum → fault) and fleet/machine trace
+// events after the run: Chrome trace-event JSON for Perfetto by
+// default, compact JSONL when FILE ends in .jsonl. With -arch both the
+// stream names are prefixed per architecture. -series-out FILE streams
+// a per-epoch time series of the fleet registry while the run is live
+// (Prometheus text when FILE ends in .prom, JSONL otherwise; single
+// -arch only); -series-every N widens the sampling interval to every
+// Nth epoch. -flight-recorder DIR arms post-mortem capture: on a
+// condemnation, OOM-kill escalation or container loss the cluster
+// dumps a bundle (trace.json, trace.jsonl, metrics.prom, audit.txt) of
+// the spans retained in its bounded rings; -flight-depth N sizes those
+// rings (default 4096 spans per node). All obs output is deterministic:
+// the same flags replay byte-identical files at any -jobs width, and
+// leaving them off leaves the simulation byte-identical to builds
+// without them.
 package main
 
 import (
@@ -38,12 +57,15 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"path/filepath"
 
 	"babelfish/internal/fleet"
 	"babelfish/internal/kernel"
 	"babelfish/internal/memsys"
 	"babelfish/internal/metrics"
+	"babelfish/internal/obs"
 	"babelfish/internal/sim"
+	"babelfish/internal/telemetry"
 	"babelfish/internal/workloads"
 )
 
@@ -90,6 +112,12 @@ func run() int {
 		audit   = flag.Bool("audit", false, "run the fleet invariant auditor after each run; exit non-zero on violations")
 		eventsN = flag.Int("events", 0, "print the last N audit-log events of each run")
 		nodeTel = flag.Bool("node-telemetry", false, "enable per-node machine histograms (merged fleet-wide translation latency)")
+
+		traceOut    = flag.String("trace-out", "", "export causal spans and trace events after the run (Chrome trace JSON; .jsonl for compact JSONL)")
+		seriesOut   = flag.String("series-out", "", "stream a per-epoch time series of the fleet registry (.prom for Prometheus text, JSONL otherwise; single -arch only)")
+		seriesEvery = flag.Int("series-every", 1, "sample the fleet registry every N epochs (with -series-out)")
+		flightDir   = flag.String("flight-recorder", "", "write post-mortem bundles to this directory on condemnation, OOM-kill escalation or container loss")
+		flightDepth = flag.Int("flight-depth", 0, "span-ring depth per recorder (0 = default)")
 	)
 	flag.Parse()
 
@@ -146,6 +174,17 @@ func run() int {
 			usageErr("-%s must be in [0, 1)", p.name)
 		}
 	}
+	if *seriesOut != "" {
+		if len(modes) > 1 {
+			usageErr("-series-out needs a single architecture (pick -arch baseline or -arch babelfish)")
+		}
+		if *seriesEvery < 1 {
+			usageErr("-series-every must be at least 1")
+		}
+	}
+	if *flightDepth < 0 {
+		usageErr("-flight-depth must be non-negative")
+	}
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "jobs":
@@ -159,6 +198,14 @@ func run() int {
 		case "part-seed", "part-after", "part-max", "part-len":
 			if *partNth == 0 && *partProb == 0 {
 				usageErr("-%s has no effect without -part-nth or -part-prob", f.Name)
+			}
+		case "series-every":
+			if *seriesOut == "" {
+				usageErr("-series-every has no effect without -series-out")
+			}
+		case "flight-depth":
+			if *traceOut == "" && *flightDir == "" {
+				usageErr("-flight-depth has no effect without -trace-out or -flight-recorder")
 			}
 		}
 	})
@@ -192,6 +239,7 @@ func run() int {
 		cfg.DegradeEpochs = *degradeEpochs
 		cfg.NodeTelemetry = *nodeTel
 		cfg.Jobs = *jobs
+		cfg.Obs = obs.Options{Enabled: *traceOut != "", Depth: *flightDepth, FlightDir: *flightDir}
 		return cfg
 	}
 	// Validate once up front so a config mistake is a usage error, not a
@@ -205,13 +253,55 @@ func run() int {
 			*nodes, *containers, *app, *scale, *epochs),
 		"arch", "density", "p50Lat", "p99Lat", "placements", "sheds", "refusals", "lost")
 	auditFailed := false
+	var traceStreams []obs.Stream
 	for i, mode := range modes {
-		c, err := fleet.New(buildConfig(mode))
+		cfg := buildConfig(mode)
+		if *flightDir != "" && len(modes) > 1 {
+			// Side-by-side runs get per-architecture bundle directories so
+			// their deterministic labels (epoch + trigger) never collide.
+			cfg.Obs.FlightDir = filepath.Join(*flightDir, names[i])
+		}
+		c, err := fleet.New(cfg)
 		if err != nil {
 			return fail(err)
 		}
+		var seriesFile *os.File
+		if *seriesOut != "" {
+			sampler := c.EnableSeries(uint64(*seriesEvery))
+			sink, f, err := telemetry.FileSink(*seriesOut, "bffleet")
+			if err != nil {
+				return fail(err)
+			}
+			seriesFile = f
+			if err := sampler.SetSink(sink); err != nil {
+				f.Close()
+				return fail(err)
+			}
+		}
 		if err := c.Run(); err != nil {
 			return fail(err)
+		}
+		if seriesFile != nil {
+			err := c.Sampler().FlushSink()
+			if cerr := seriesFile.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return fail(err)
+			}
+		}
+		if *traceOut != "" {
+			ss := c.ObsStreams()
+			if len(modes) > 1 {
+				for j := range ss {
+					ss[j].Name = names[i] + "/" + ss[j].Name
+				}
+			}
+			traceStreams = append(traceStreams, ss...)
+		}
+		if *flightDir != "" && c.FlightBundles() > 0 {
+			fmt.Printf("%s: %d flight-recorder bundle(s) written under %s\n",
+				names[i], c.FlightBundles(), cfg.Obs.FlightDir)
 		}
 		fmt.Print(c.Report())
 		if *eventsN > 0 {
@@ -244,6 +334,12 @@ func run() int {
 		}
 	}
 	fmt.Println(t)
+	if *traceOut != "" {
+		if err := obs.WriteTraceFile(*traceOut, "bffleet", traceStreams); err != nil {
+			return fail(err)
+		}
+		fmt.Printf("trace (schema v%d) written to %s\n", obs.TraceSchemaVersion, *traceOut)
+	}
 	if auditFailed {
 		fmt.Fprintln(os.Stderr, "bffleet: audit found invariant violations")
 		return 1

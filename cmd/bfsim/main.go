@@ -9,6 +9,7 @@
 //	      [-cores N] [-containers N] [-scale F] [-warm N] [-measure N] [-seed N]
 //	      [-audit] [-failnth N] [-failseed N] [-jobs N] [-cpuprofile FILE]
 //	      [-metrics-out FILE] [-sample-every N] [-trace N]
+//	      [-trace-out FILE] [-series-out FILE] [-flight-recorder DIR] [-flight-depth N]
 //	      [-inject-mem tlb,pwc,cache,dram|all] [-inject-mem-nth N] [-inject-mem-prob P]
 //	      [-inject-mem-seed N] [-inject-mem-after N] [-inject-mem-max N]
 //	      [-inject-mem-mode drop|poison]
@@ -42,6 +43,21 @@
 // the full telemetry registry and latency histograms for each simulated
 // architecture, and — with -sample-every N — a time series sampled every
 // N simulated cycles of the measured phase.
+//
+// The -trace family: -trace N keeps a bounded ring of raw translation
+// events and dumps the last N as text; -trace-out FILE exports the
+// run's causal spans (scheduling quanta and the faults inside them,
+// plus the ring's events when -trace is also set) as Chrome trace-event
+// JSON for Perfetto — or compact JSONL when FILE ends in .jsonl — with
+// one stream per architecture, in declaration order. -series-out FILE
+// streams the registry time series while the run is live (requires
+// -sample-every; .prom selects Prometheus text, JSONL otherwise;
+// single -arch only). -flight-recorder DIR writes a post-mortem bundle
+// (trace.json, trace.jsonl, metrics.prom, audit.txt) after any run
+// that OOM-killed a task or failed the -audit; -flight-depth N sizes
+// the span ring (default 4096). All obs files are deterministic: the
+// same flags rewrite byte-identical bytes, and leaving them off leaves
+// the simulation untouched.
 package main
 
 import (
@@ -60,6 +76,7 @@ import (
 	"babelfish/internal/faultinject"
 	"babelfish/internal/memsys"
 	"babelfish/internal/metrics"
+	"babelfish/internal/obs"
 	"babelfish/internal/physmem"
 	"babelfish/internal/telemetry"
 )
@@ -74,6 +91,7 @@ type archResult struct {
 	out         bytes.Buffer
 	row         []interface{}
 	tel         telemetry.ArchReport
+	stream      obs.Stream
 	auditFailed bool
 	err         error
 }
@@ -95,7 +113,12 @@ func run() int {
 		jobs        = flag.Int("jobs", 0, "run architectures on N parallel workers (default GOMAXPROCS, 1 = serial); output is identical at any width")
 		cpuprofile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
 		metricsOut  = flag.String("metrics-out", "", "write a JSON telemetry report to this file")
-		sampleEvery = flag.Uint64("sample-every", 0, "sample the metric registry every N simulated cycles (requires -metrics-out)")
+		sampleEvery = flag.Uint64("sample-every", 0, "sample the metric registry every N simulated cycles (requires -metrics-out or -series-out)")
+
+		traceOut    = flag.String("trace-out", "", "export causal spans (and -trace ring events) after the run (Chrome trace JSON; .jsonl for compact JSONL)")
+		seriesOut   = flag.String("series-out", "", "stream the registry time series (.prom for Prometheus text, JSONL otherwise; requires -sample-every, single -arch)")
+		flightDir   = flag.String("flight-recorder", "", "write a post-mortem bundle to this directory when a run OOM-kills a task or fails -audit")
+		flightDepth = flag.Int("flight-depth", 0, "span-ring depth per architecture (0 = default)")
 
 		injectMem      = flag.String("inject-mem", "", "inject memory-system faults at these seams (comma-separated: tlb, pwc, cache, dram, all)")
 		injectMemNth   = flag.Uint64("inject-mem-nth", 0, "inject on every Nth device event (0 = off)")
@@ -142,8 +165,19 @@ func run() int {
 	if *traceN < 0 {
 		usageErr("-trace must be non-negative")
 	}
-	if *sampleEvery > 0 && *metricsOut == "" {
-		usageErr("-sample-every requires -metrics-out (the time series is only emitted in the report)")
+	if *sampleEvery > 0 && *metricsOut == "" && *seriesOut == "" {
+		usageErr("-sample-every requires -metrics-out or -series-out (the time series needs somewhere to go)")
+	}
+	if *seriesOut != "" {
+		if *sampleEvery == 0 {
+			usageErr("-series-out requires -sample-every (it streams the sampled series)")
+		}
+		if len(archs) > 1 {
+			usageErr("-series-out needs a single architecture (pick -arch baseline or -arch babelfish)")
+		}
+	}
+	if *flightDepth < 0 {
+		usageErr("-flight-depth must be non-negative")
 	}
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "jobs" && *jobs <= 0 {
@@ -151,6 +185,9 @@ func run() int {
 		}
 		if f.Name == "failseed" && *failNth == 0 {
 			usageErr("-failseed has no effect without -failnth")
+		}
+		if f.Name == "flight-depth" && *traceOut == "" && *flightDir == "" {
+			usageErr("-flight-depth has no effect without -trace-out or -flight-recorder")
 		}
 		if strings.HasPrefix(f.Name, "inject-mem-") && *injectMem == "" {
 			usageErr("-%s has no effect without -inject-mem", f.Name)
@@ -218,7 +255,8 @@ func run() int {
 		})
 	}
 
-	runArch := func(res *archResult, ar babelfish.Arch) {
+	obsOn := *traceOut != "" || *flightDir != ""
+	runArch := func(res *archResult, idx int, ar babelfish.Arch) {
 		name := "baseline"
 		if ar == babelfish.ArchBabelFish {
 			name = "babelfish"
@@ -228,8 +266,37 @@ func run() int {
 		if *traceN > 0 {
 			m.EnableTracing(*traceN)
 		}
-		if rep != nil {
+		if rep != nil || *seriesOut != "" {
 			m.EnableTelemetry(*sampleEvery)
+		}
+		if obsOn {
+			// Span IDs are pure in (seed, arch index, sequence), so the
+			// export is byte-identical at any -jobs width.
+			rec := obs.NewRecorder(*seed, uint64(idx), obs.Options{Depth: *flightDepth}.RingDepth())
+			m.EnableObs(rec, idx)
+		}
+		var seriesFile *os.File
+		if *seriesOut != "" {
+			sink, f, err := telemetry.FileSink(*seriesOut, "bfsim")
+			if err != nil {
+				res.err = err
+				return
+			}
+			seriesFile = f
+			if err := m.Sampler().SetSink(sink); err != nil {
+				f.Close()
+				res.err = err
+				return
+			}
+			defer func() {
+				err := m.Sampler().FlushSink()
+				if cerr := seriesFile.Close(); err == nil {
+					err = cerr
+				}
+				if err != nil && res.err == nil {
+					res.err = err
+				}
+			}()
 		}
 		d, err := babelfish.DeployApp(m, a, *scale, *seed)
 		if err != nil {
@@ -306,6 +373,32 @@ func run() int {
 		if rep != nil {
 			res.tel = m.TelemetryReport(name)
 		}
+		if obsOn {
+			res.stream = m.ObsStream(name)
+		}
+		if *flightDir != "" && (m.OOMKills() > 0 || res.auditFailed) {
+			trigger := "oom-kill"
+			if res.auditFailed {
+				trigger = "audit-violation"
+			}
+			var prom bytes.Buffer
+			if err := telemetry.WriteProm(&prom, m.Registry); err != nil {
+				res.err = err
+				return
+			}
+			path, err := obs.WriteBundle(*flightDir, obs.Bundle{
+				Label: name + "-" + trigger, Tool: "bfsim", Trigger: trigger,
+				Streams:     []obs.Stream{res.stream},
+				MetricsProm: prom.Bytes(),
+				Audit: fmt.Sprintf("oomKills: %d\nauditFailed: %v\n\n%s",
+					m.OOMKills(), res.auditFailed, res.out.String()),
+			})
+			if err != nil {
+				res.err = err
+				return
+			}
+			fmt.Fprintf(&res.out, "%s: flight-recorder bundle written to %s\n", name, path)
+		}
 	}
 
 	// Each architecture run owns its machine; runs only share the
@@ -324,7 +417,7 @@ func run() int {
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			runArch(&results[i], archs[i])
+			runArch(&results[i], i, archs[i])
 		}(i)
 	}
 	wg.Wait()
@@ -350,6 +443,16 @@ func run() int {
 			return fail(err)
 		}
 		fmt.Printf("telemetry report (schema v%d) written to %s\n", telemetry.SchemaVersion, *metricsOut)
+	}
+	if *traceOut != "" {
+		streams := make([]obs.Stream, len(results))
+		for i := range results {
+			streams[i] = results[i].stream
+		}
+		if err := obs.WriteTraceFile(*traceOut, "bfsim", streams); err != nil {
+			return fail(err)
+		}
+		fmt.Printf("trace (schema v%d) written to %s\n", obs.TraceSchemaVersion, *traceOut)
 	}
 	if auditFailed {
 		fmt.Fprintln(os.Stderr, "bfsim: audit found invariant violations")

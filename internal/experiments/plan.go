@@ -1,6 +1,9 @@
 package experiments
 
-import "babelfish/internal/par"
+import (
+	"babelfish/internal/obs"
+	"babelfish/internal/par"
+)
 
 // The parallel experiment engine.
 //
@@ -24,12 +27,38 @@ import "babelfish/internal/par"
 // plan is an ordered list of cells plus the bounded executor.
 type plan struct {
 	par.Plan
+	labels []string
 }
+
+// cellRecorder, when non-nil, receives one KCell span per executed plan
+// cell (set once by the CLI before any experiment runs; never mutated
+// concurrently with execute). Spans are recorded after the plan drains,
+// in declaration order on a plan-count timeline, so the trace is
+// byte-identical at any worker-pool width.
+var cellRecorder *obs.Recorder
+
+// SetObsRecorder installs (or, with nil, removes) the span recorder the
+// experiment engine logs its plan cells to.
+func SetObsRecorder(r *obs.Recorder) { cellRecorder = r }
 
 // add appends a cell. The closure must write its result only into slots
 // it owns (typically one index of a slice sized up front).
-func (p *plan) add(label string, run func() error) { p.Add(label, run) }
+func (p *plan) add(label string, run func() error) {
+	p.labels = append(p.labels, label)
+	p.Add(label, run)
+}
 
 // execute runs the cells on a worker pool of the given width. jobs <= 0
 // means GOMAXPROCS; errors resolve to the lowest-indexed failing cell.
-func (p *plan) execute(jobs int) error { return p.Execute(jobs) }
+func (p *plan) execute(jobs int) error {
+	err := p.Execute(jobs)
+	if r := cellRecorder; r != nil {
+		for _, label := range p.labels {
+			r.Record(obs.Span{
+				Kind: obs.KCell, Name: label, Node: -1, Core: -1, Task: -1, PID: -1,
+				Start: uint64(r.Total()), Dur: 1,
+			})
+		}
+	}
+	return err
+}

@@ -32,6 +32,7 @@ import (
 	"math"
 
 	"babelfish/internal/memsys"
+	"babelfish/internal/obs"
 	"babelfish/internal/par"
 	"babelfish/internal/physmem"
 	"babelfish/internal/sim"
@@ -95,6 +96,11 @@ type Config struct {
 	// NodeTelemetry enables per-node machine histograms (merged into
 	// the fleet-wide translation-latency histogram at Finish).
 	NodeTelemetry bool
+
+	// Obs configures causal span tracing and the flight recorder (see
+	// internal/obs and obs.go in this package). Arming Obs.FlightDir
+	// implies span recording even when Obs.Enabled is false.
+	Obs obs.Options
 
 	// Jobs bounds the worker pool stepping node machines each epoch
 	// (0 = GOMAXPROCS). Output is byte-identical at any width.
@@ -162,6 +168,8 @@ func (c Config) Validate() error {
 		return errors.New("fleet: MinFreeFrac must be in [0, 1)")
 	case c.ShedFrac < 0 || c.ShedFrac > c.MinFreeFrac || math.IsNaN(c.ShedFrac):
 		return errors.New("fleet: ShedFrac must be in [0, MinFreeFrac]")
+	case c.Obs.Depth < 0:
+		return errors.New("fleet: Obs.Depth must be non-negative")
 	}
 	for _, ic := range []struct {
 		name string
@@ -209,6 +217,18 @@ type Cluster struct {
 	sumRunning, sumUp uint64
 
 	finished bool
+
+	// Observability state (see obs.go): the control-plane span recorder,
+	// the causal-parent bookkeeping (last unresolved cause per node and
+	// per container), the epoch-driven series sampler and the flight
+	// recorder's trigger latch and bundle budget.
+	obsOn         bool
+	ctlRec        *obs.Recorder
+	nodeCause     []obs.SpanID
+	ctCause       map[int]obs.SpanID
+	sampler       *telemetry.Sampler
+	flightTrigger string
+	flightBundles int
 }
 
 // splitmix64 mixes per-node injector seeds (same avalanche mix as the
@@ -228,6 +248,7 @@ func New(cfg Config) (*Cluster, error) {
 		return nil, err
 	}
 	c := &Cluster{cfg: cfg}
+	c.initObs()
 	for i := 0; i < cfg.Nodes; i++ {
 		crashCfg, partCfg := cfg.Crash, cfg.Partition
 		crashCfg.Seed ^= splitmix64(uint64(i) + 0xF1EE7)
@@ -241,6 +262,12 @@ func New(cfg Config) (*Cluster, error) {
 		// injectors start i events into the sequence.
 		n.crash.Skip(uint64(i))
 		n.part.Skip(uint64(i))
+		if c.obsOn {
+			// The recorder outlives machine rebuilds: one span stream per
+			// node across every incarnation (scope = node ID keeps its IDs
+			// disjoint from every other recorder at the same seed).
+			n.rec = obs.NewRecorder(cfg.Seed, uint64(i), cfg.Obs.RingDepth())
+		}
 		n.buildMachine(c)
 		c.nodes = append(c.nodes, n)
 	}
@@ -263,10 +290,23 @@ func (c *Cluster) Containers() []*Container { return c.containers }
 // Registry returns the fleet telemetry registry.
 func (c *Cluster) Registry() *telemetry.Registry { return c.reg }
 
-func (c *Cluster) event(kind EventKind, nodeID, containerID int, detail string) {
+// event appends one audit-log entry and, with obs on, mirrors it as a
+// causally-parented control-plane span, returning the span's ID so the
+// call site can pass it as the explicit cause of follow-on events.
+func (c *Cluster) event(kind EventKind, nodeID, containerID int, detail string) obs.SpanID {
+	return c.eventCaused(kind, nodeID, containerID, detail, 0)
+}
+
+// eventCaused is event with an explicit causal parent for the mirrored
+// span (0 = derive from the subject's cause chain).
+func (c *Cluster) eventCaused(kind EventKind, nodeID, containerID int, detail string, cause obs.SpanID) obs.SpanID {
 	c.events = append(c.events, Event{
 		Epoch: c.epoch, Kind: kind, Node: nodeID, Container: containerID, Detail: detail,
 	})
+	if !c.obsOn {
+		return 0
+	}
+	return c.recordEventSpan(kind, nodeID, containerID, detail, cause)
 }
 
 // Run executes the configured number of epochs and then finalizes the
@@ -278,7 +318,7 @@ func (c *Cluster) Run() error {
 		}
 	}
 	c.Finish()
-	return nil
+	return c.finalFlight()
 }
 
 // Step advances the cluster one epoch: a parallel data-plane phase in
@@ -289,12 +329,14 @@ func (c *Cluster) Run() error {
 // recovery, degradation and the scheduler pass.
 func (c *Cluster) Step() error {
 	c.epoch++
+	ctlEpoch := c.beginEpoch()
 	var p par.Plan
 	for _, n := range c.nodes {
 		if n.state != NodeUp || len(n.running()) == 0 {
 			continue
 		}
 		n := n
+		n.beginEpochSpan()
 		p.Add(fmt.Sprintf("node%d", n.id), func() error {
 			if err := n.m.Run(c.cfg.EpochInstr); err != nil {
 				return fmt.Errorf("fleet: node %d epoch %d: %w", n.id, c.epoch, err)
@@ -305,6 +347,9 @@ func (c *Cluster) Step() error {
 	if err := p.Execute(c.cfg.Jobs); err != nil {
 		return err
 	}
+	for _, n := range c.nodes {
+		n.endEpochSpan(c.epoch, ctlEpoch)
+	}
 	c.absorbOOMKills()
 	c.injectFaults()
 	c.heartbeats()
@@ -314,6 +359,16 @@ func (c *Cluster) Step() error {
 	c.placePending()
 	c.sumRunning += uint64(c.runningCount())
 	c.sumUp += uint64(c.upCount())
+	if c.sampler != nil {
+		c.sampler.Tick(uint64(c.epoch))
+	}
+	if c.flightTrigger != "" {
+		t := c.flightTrigger
+		c.flightTrigger = ""
+		if err := c.flightDump("epoch", t); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -343,13 +398,19 @@ func (c *Cluster) Finish() {
 
 // requeue sends a container back to the placement queue.
 func (c *Cluster) requeue(ct *Container, detail string) {
+	c.requeueCaused(ct, detail, 0)
+}
+
+// requeueCaused is requeue with the span of the causing event (condemn,
+// OOM kill, shed) as the queued span's causal parent.
+func (c *Cluster) requeueCaused(ct *Container, detail string, cause obs.SpanID) {
 	ct.Node = -1
 	ct.task = nil
 	ct.Attempts = 0
 	ct.NextTry = c.epoch
 	ct.QueuedAt = c.epoch
 	c.ctr.queued++
-	c.event(EvQueued, -1, ct.ID, detail)
+	c.eventCaused(EvQueued, -1, ct.ID, detail, cause)
 }
 
 // degrade closes a node's admissions for DegradeEpochs (extending any
@@ -380,8 +441,10 @@ func (c *Cluster) absorbOOMKills() {
 			if p.task.OOMKilled && ct.Node == n.id && ct.task == p.task {
 				n.dropPlacement(ct)
 				c.ctr.oomEscalations++
-				c.event(EvOOMKill, n.id, ct.ID, "node OOM killer")
-				c.requeue(ct, "oom-killed")
+				// Cross-layer causal link: the machine recorder's OOM-kill
+				// span (if spans are on) parents the fleet escalation.
+				cause := c.eventCaused(EvOOMKill, n.id, ct.ID, "node OOM killer", n.m.LastOOMSpan())
+				c.requeueCaused(ct, "oom-killed", cause)
 			}
 		}
 		c.degrade(n, "oom escalation")
@@ -488,12 +551,12 @@ func (c *Cluster) detectFailures() {
 		if n.hlth == Suspect && missed > c.cfg.SuspicionEpochs {
 			n.hlth = Condemned
 			c.ctr.condemned++
-			c.event(EvCondemn, n.id, -1, fmt.Sprintf("%d heartbeats missed", missed))
+			cause := c.event(EvCondemn, n.id, -1, fmt.Sprintf("%d heartbeats missed", missed))
 			for _, ct := range c.containers {
 				if ct.Node == n.id {
 					// The stale task (if the node is partitioned, not
 					// crashed) stays in n.placed for fencing at rejoin.
-					c.requeue(ct, "node condemned")
+					c.requeueCaused(ct, "node condemned", cause)
 				}
 			}
 		}
@@ -529,8 +592,8 @@ func (c *Cluster) shedOverloaded() {
 		n.m.KillTask(victim.task)
 		n.dropPlacement(victim)
 		c.ctr.sheds++
-		c.event(EvShed, n.id, victim.ID, "overload")
-		c.requeue(victim, "shed")
+		cause := c.event(EvShed, n.id, victim.ID, "overload")
+		c.requeueCaused(victim, "shed", cause)
 	}
 }
 

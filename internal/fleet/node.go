@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"babelfish/internal/memsys"
+	"babelfish/internal/obs"
 	"babelfish/internal/sim"
 	"babelfish/internal/workloads"
 )
@@ -85,6 +86,13 @@ type node struct {
 
 	placeSeq int    // round-robin core pointer for placements
 	oomSeen  uint64 // machine OOM kills already absorbed by the fleet
+
+	// rec is the node's span recorder (nil with obs off). It is owned by
+	// the cluster and outlives machine rebuilds, so a restarted node's
+	// spans land in the same ring as its predecessor incarnation's.
+	rec        *obs.Recorder
+	epochSpan  obs.SpanID // pre-minted span for the in-flight epoch
+	epochStart uint64     // machine cycles at epoch start
 }
 
 // placement ties a container to the task its current (or stale)
@@ -143,6 +151,9 @@ func (n *node) buildMachine(c *Cluster) {
 	n.m = sim.New(p)
 	if c.cfg.NodeTelemetry {
 		n.m.EnableTelemetry(0)
+	}
+	if n.rec != nil {
+		n.m.EnableObs(n.rec, n.id)
 	}
 	n.dep = nil
 	n.incarnation++

@@ -1,0 +1,25 @@
+package obs
+
+import (
+	"os"
+	"strings"
+)
+
+// WriteTraceFile exports streams to path, picking the format from the
+// extension: .jsonl gets the compact JSONL form, anything else the
+// Chrome trace-event JSON that Perfetto and chrome://tracing load.
+func WriteTraceFile(path, tool string, streams []Stream) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".jsonl") {
+		err = WriteJSONL(f, tool, streams)
+	} else {
+		err = WriteChrome(f, tool, streams)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -19,6 +19,7 @@ import (
 	"babelfish/internal/memsys"
 	"babelfish/internal/metrics"
 	"babelfish/internal/mmu"
+	"babelfish/internal/obs"
 	"babelfish/internal/physmem"
 	"babelfish/internal/telemetry"
 	"babelfish/internal/trace"
@@ -168,6 +169,17 @@ type Machine struct {
 	telemetryOn         bool
 	sampler             *telemetry.Sampler
 	histXlat, histFault *telemetry.Hist
+
+	// obsRec, when non-nil, records causal spans — one per scheduling
+	// quantum, plus fault and OOM-kill children — into the machine's
+	// obs recorder (see EnableObs and obs.go in this package). obsNode
+	// labels the spans with the owning fleet node (-1 standalone);
+	// obsSpan is the in-flight quantum's pre-minted span ID, the parent
+	// for spans recorded from inside the quantum.
+	obsRec      *obs.Recorder
+	obsNode     int
+	obsSpan     obs.SpanID
+	lastOOMSpan obs.SpanID
 
 	// Memoized Aggregate() for the derived xlat.* gauges: one registry
 	// snapshot reads four of them, each of which would otherwise re-walk
@@ -473,12 +485,16 @@ func (m *Machine) stepOnce(c *Core, t *Task, step *Step, infoPtr *mmu.Info, obse
 // (each thread contributes half the issue width).
 func (m *Machine) runQuantumSMT(c *Core, t1, t2 *Task) (uint64, error) {
 	c.Cycles += m.Params.CtxSwitch
+	qStart := c.Cycles
+	if m.obsRec != nil {
+		m.obsSpan = m.obsRec.NewID()
+	}
 	end := c.Cycles + m.Params.Quantum
 	tasks := [2]*Task{t1, t2}
 	var step Step
 	var instrs uint64
 	turn := 0
-	observe := m.Tracer != nil || m.telemetryOn
+	observe := m.Tracer != nil || m.telemetryOn || m.obsRec != nil
 	var tinfo mmu.Info
 	infoPtr := &tinfo
 	if !observe {
@@ -507,6 +523,9 @@ func (m *Machine) runQuantumSMT(c *Core, t1, t2 *Task) (uint64, error) {
 		}
 	}
 	c.Instrs += instrs
+	if m.obsRec != nil {
+		m.recordQuantum(c, int(t1.Proc.PID), fmt.Sprintf("smt sibling pid %d", t2.Proc.PID), qStart)
+	}
 	return instrs, nil
 }
 
@@ -518,10 +537,14 @@ func (m *Machine) runQuantumTask(c *Core, t *Task) (uint64, error) {
 			Kind: trace.EvSwitch, Core: uint8(c.ID), PID: t.Proc.PID, At: c.Cycles,
 		})
 	}
+	qStart := c.Cycles
+	if m.obsRec != nil {
+		m.obsSpan = m.obsRec.NewID()
+	}
 	end := c.Cycles + m.Params.Quantum
 	var step Step
 	var instrs uint64
-	observe := m.Tracer != nil || m.telemetryOn
+	observe := m.Tracer != nil || m.telemetryOn || m.obsRec != nil
 	var tinfo mmu.Info
 	infoPtr := &tinfo
 	if !observe {
@@ -542,6 +565,9 @@ func (m *Machine) runQuantumTask(c *Core, t *Task) (uint64, error) {
 		}
 	}
 	c.Instrs += instrs
+	if m.obsRec != nil {
+		m.recordQuantum(c, int(t.Proc.PID), "", qStart)
+	}
 	return instrs, nil
 }
 
@@ -557,6 +583,13 @@ func (m *Machine) oomKill(c *Core, t *Task, err error) bool {
 	t.OOMKilled = true
 	t.FinishCycles = c.Cycles
 	m.oomKills++
+	if m.obsRec != nil {
+		m.lastOOMSpan = m.obsRec.Record(obs.Span{
+			Parent: m.obsSpan, Kind: obs.KEvent, Name: "oomkill",
+			Node: m.obsNode, Core: c.ID, Task: -1, PID: int(t.Proc.PID),
+			Start: uint64(c.Cycles),
+		})
+	}
 	if m.Tracer != nil {
 		m.Tracer.Record(trace.Event{
 			Kind: trace.EvFault, Core: uint8(c.ID), PID: t.Proc.PID, At: c.Cycles,

@@ -1,10 +1,13 @@
 package sim
 
 import (
+	"fmt"
+
 	"babelfish/internal/kernel"
 	"babelfish/internal/memdefs"
 	"babelfish/internal/memsys"
 	"babelfish/internal/mmu"
+	"babelfish/internal/obs"
 	"babelfish/internal/physmem"
 	"babelfish/internal/telemetry"
 	"babelfish/internal/trace"
@@ -151,6 +154,14 @@ func (m *Machine) observeTranslation(c *Core, t *Task, step *Step, tc memdefs.Cy
 		if info.Faults > 0 {
 			m.histFault.ObserveCycles(info.FaultCycles)
 		}
+	}
+	if m.obsRec != nil && info.Faults > 0 {
+		m.obsRec.Record(obs.Span{
+			Parent: m.obsSpan, Kind: obs.KFault, Name: "fault",
+			Node: m.obsNode, Core: c.ID, Task: -1, PID: int(t.Proc.PID),
+			Start: uint64(c.Cycles), Dur: uint64(info.FaultCycles),
+			Detail: fmt.Sprintf("va=%#x faults=%d", uint64(step.VA), info.Faults),
+		})
 	}
 	if m.Tracer == nil {
 		return

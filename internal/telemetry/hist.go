@@ -94,13 +94,19 @@ func (h *Hist) Quantile(q float64) float64 {
 	return float64(h.max)
 }
 
-// bucketBounds returns bucket i's value range [lo, hi].
+// bucketBounds returns bucket i's value range [lo, hi]. The top bucket
+// (i = 64) is special-cased: uint64(1)<<64 wraps to zero, which used to
+// collapse its upper bound to -1 and drag quantiles over near-MaxUint64
+// observations down to ~0.
 func bucketBounds(i int) (lo, hi float64) {
 	if i == 0 {
 		return 0, 0
 	}
 	if i == 1 {
 		return 1, 1
+	}
+	if i >= 64 {
+		return float64(uint64(1) << 63), math.MaxUint64
 	}
 	return float64(uint64(1) << (i - 1)), float64(uint64(1)<<i) - 1
 }
@@ -162,7 +168,12 @@ func (h *Hist) Dump() HistDump {
 			continue
 		}
 		_, hi := bucketBounds(i)
-		d.Buckets = append(d.Buckets, HistBucket{Le: uint64(hi), Count: n})
+		le := uint64(math.MaxUint64)
+		if hi < float64(math.MaxUint64) {
+			// Guard the top bucket: converting 2^64 to uint64 is undefined.
+			le = uint64(hi)
+		}
+		d.Buckets = append(d.Buckets, HistBucket{Le: le, Count: n})
 	}
 	return d
 }

@@ -25,6 +25,8 @@ type Sampler struct {
 	every   uint64
 	next    uint64
 	samples []Sample
+	sink    Sink
+	sinkErr error
 }
 
 // NewSampler creates a sampler over reg taking a sample every `every`
@@ -46,7 +48,9 @@ func (s *Sampler) Tick(cycle uint64) {
 	if cycle < s.next {
 		return
 	}
-	s.samples = append(s.samples, Sample{Cycle: cycle, Values: s.reg.read(make([]float64, 0, s.reg.Len()))})
+	sample := Sample{Cycle: cycle, Values: s.reg.read(make([]float64, 0, s.reg.Len()))}
+	s.samples = append(s.samples, sample)
+	s.emit(sample)
 	// Skip boundaries the quantum jumped over; never sample twice for one.
 	s.next = cycle - cycle%s.every + s.every
 }

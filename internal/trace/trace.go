@@ -23,6 +23,23 @@ const (
 	EvFault
 	// EvSwitch is a context switch on a core.
 	EvSwitch
+
+	// Fleet-level kinds: the control-plane actions of internal/fleet,
+	// recorded in the same stream shape as machine events so one export
+	// joins both layers (for fleet events, Core carries the node ID, PID
+	// the container ID and At the epoch).
+
+	// EvPlace is a container placement on a node.
+	EvPlace
+	// EvCrash is a node crash dealt by the fault injector.
+	EvCrash
+	// EvFence is a stale container killed on a rejoining node.
+	EvFence
+	// EvShed is a container shed from an overloaded node.
+	EvShed
+
+	// numKinds bounds the valid Kind values (test exhaustiveness).
+	numKinds
 )
 
 func (k Kind) String() string {
@@ -33,9 +50,21 @@ func (k Kind) String() string {
 		return "fault"
 	case EvSwitch:
 		return "switch"
+	case EvPlace:
+		return "place"
+	case EvCrash:
+		return "crash"
+	case EvFence:
+		return "fence"
+	case EvShed:
+		return "shed"
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
+
+// NumKinds reports the number of defined event kinds (tests range over
+// them to keep String coverage exhaustive).
+func NumKinds() int { return int(numKinds) }
 
 // Event is one record. Fields are overloaded per kind to keep the record
 // compact (the ring can hold millions).
@@ -185,6 +214,8 @@ func (r *Ring) Dump(w io.Writer, n int) {
 				e.At, e.Core, e.PID, e.VA, e.Cycles)
 		case EvSwitch:
 			fmt.Fprintf(w, "%12d core%d pid%-4d SWITCH\n", e.At, e.Core, e.PID)
+		case EvPlace, EvCrash, EvFence, EvShed:
+			fmt.Fprintf(w, "%12d node%d ct%-4d %s\n", e.At, e.Core, e.PID, strings.ToUpper(e.Kind.String()))
 		}
 	}
 }

@@ -156,6 +156,49 @@ func TestLevelNames(t *testing.T) {
 	}
 }
 
+// TestKindStringExhaustive: every defined kind — machine- and
+// fleet-level — must render a real name, and unknown values must fall
+// back to the Kind(N) form. Guards the gap where fleet kinds were added
+// without String coverage.
+func TestKindStringExhaustive(t *testing.T) {
+	want := map[Kind]string{
+		EvAccess: "access", EvFault: "fault", EvSwitch: "switch",
+		EvPlace: "place", EvCrash: "crash", EvFence: "fence", EvShed: "shed",
+	}
+	if len(want) != NumKinds() {
+		t.Fatalf("test covers %d kinds, package defines %d: update this map", len(want), NumKinds())
+	}
+	for k := 0; k < NumKinds(); k++ {
+		got := Kind(k).String()
+		if got != want[Kind(k)] {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want[Kind(k)])
+		}
+		if strings.HasPrefix(got, "Kind(") {
+			t.Errorf("Kind(%d) has no real name", k)
+		}
+	}
+	if got := Kind(200).String(); got != "Kind(200)" {
+		t.Errorf("unknown kind renders %q", got)
+	}
+}
+
+// TestDumpFleetKinds: fleet-level events render as node/container lines.
+func TestDumpFleetKinds(t *testing.T) {
+	r := NewRing(8)
+	r.Record(Event{Kind: EvCrash, Core: 3, At: 7})
+	r.Record(Event{Kind: EvPlace, Core: 2, PID: 5, At: 8})
+	r.Record(Event{Kind: EvFence, Core: 3, PID: 5, At: 9})
+	r.Record(Event{Kind: EvShed, Core: 1, PID: 4, At: 10})
+	var b strings.Builder
+	r.Dump(&b, 0)
+	out := b.String()
+	for _, want := range []string{"node3", "CRASH", "PLACE", "FENCE", "SHED", "ct5"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestTinyRing(t *testing.T) {
 	r := NewRing(0) // clamps to 1
 	r.Record(Event{Kind: EvAccess, VA: 1})

@@ -12,7 +12,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_5.json}
+out=${1:-BENCH_6.json}
 pr=$(basename "$out" .json | sed 's/^BENCH_//')
 prev="BENCH_$((pr - 1)).json"
 tmp=$(mktemp -d)
@@ -98,13 +98,20 @@ if ! cmp -s "$tmp/fleet_serial.txt" "$tmp/fleet_par.txt"; then
 fi
 echo "fleet chaos replay identical=$fleet_identical"
 
+# Host metadata: ns/op numbers are only comparable across PRs when the
+# host shape matches, so record enough to spot a host change in the
+# trajectory (CPU count, effective GOMAXPROCS, OS/arch, toolchain).
 ncpu=$(nproc 2>/dev/null || echo 1)
+gomaxprocs=${GOMAXPROCS:-$ncpu}
 cat > "$out" <<EOF
 {
   "pr": $pr,
   "generated": "$(date -u +%FT%TZ)",
   "host": {
     "cpus": $ncpu,
+    "gomaxprocs": $gomaxprocs,
+    "os": "$(go env GOOS)",
+    "arch": "$(go env GOARCH)",
     "go": "$(go env GOVERSION)"
   },
   "suite": {
