@@ -64,6 +64,17 @@ type Options struct {
 	Quantum uint64
 	// THP enables transparent huge pages (default on, as in the paper).
 	DisableTHP bool
+	// DisableXCache turns off the per-core translation-result cache in
+	// front of the modeled TLB path (a pure-speed memoization; output is
+	// byte-identical either way).
+	DisableXCache bool
+	// XCacheAudit, when non-zero, cross-checks every Nth xcache hit
+	// against the full modeled lookup and panics on divergence.
+	XCacheAudit uint64
+	// CoreShards > 0 steps the machine's cores concurrently on up to
+	// CoreShards goroutines with a deterministic quantum barrier; output
+	// is identical at any width >= 1 (see internal/sim/shard.go).
+	CoreShards int
 }
 
 // Machine is a simulated 8-core server. It embeds *sim.Machine, whose
@@ -95,6 +106,13 @@ func NewMachine(o Options) *Machine {
 	}
 	if o.DisableTHP {
 		p.Kernel.THP = false
+	}
+	if o.DisableXCache {
+		p.XCache = false
+	}
+	p.XCacheAudit = o.XCacheAudit
+	if o.CoreShards > 0 {
+		p.CoreShards = o.CoreShards
 	}
 	return &Machine{Machine: sim.New(p)}
 }

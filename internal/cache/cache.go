@@ -57,18 +57,32 @@ type Stats struct {
 	Writebacks uint64
 }
 
-type line struct {
-	tag   uint64
-	valid bool
-	dirty bool
-	lru   uint64
-}
+// Tag words pack a line's state into one uint64 so a set probe touches a
+// single contiguous run of words (one host cache line for 8 ways): the
+// block tag in the low bits, valid and dirty flags on top. Physical
+// block numbers fit well below bit 56 (PAddr is a byte address of at
+// most 4GB-scale simulated memory), so the flag bits never collide.
+const (
+	lineValid = 1 << 63
+	lineDirty = 1 << 62
+)
 
 // Cache is one set-associative cache level backed by a lower level.
+//
+// Geometry is flat: tags[set*ways+way] holds the packed tag word and
+// lru[set*ways+way] the replacement tick. On a hit the line is swapped
+// to way 0 of its set (MRU-first), which keeps the common repeated-line
+// probe to a single compare. The swap is invisible in every observable:
+// replacement uses per-access ticks that are unique across a cache's
+// lifetime (ties only between invalid lines, which are interchangeable),
+// so victim choice — and therefore every stat — is independent of way
+// order within a set.
 type Cache struct {
 	cfg     Config
 	below   Backend
-	sets    [][]line
+	tags    []uint64
+	lru     []uint64
+	ways    int
 	numSets int
 	lineOff uint
 	tick    uint64
@@ -89,11 +103,9 @@ func New(cfg Config, below Backend) *Cache {
 	if numSets&(numSets-1) != 0 {
 		panic(fmt.Sprintf("cache %s: sets %d not a power of two", cfg.Name, numSets))
 	}
-	c := &Cache{cfg: cfg, below: below, numSets: numSets}
-	c.sets = make([][]line, numSets)
-	for i := range c.sets {
-		c.sets[i] = make([]line, cfg.Ways)
-	}
+	c := &Cache{cfg: cfg, below: below, numSets: numSets, ways: cfg.Ways}
+	c.tags = make([]uint64, numSets*cfg.Ways)
+	c.lru = make([]uint64, numSets*cfg.Ways)
 	for off := cfg.LineSize; off > 1; off >>= 1 {
 		c.lineOff++
 	}
@@ -132,11 +144,6 @@ func (c *Cache) SetBelow(below Backend) { c.below = below }
 // Below returns the current backing port.
 func (c *Cache) Below() Backend { return c.below }
 
-func (c *Cache) index(pa memdefs.PAddr) (set int, tag uint64) {
-	blk := uint64(pa) >> c.lineOff
-	return int(blk) & (c.numSets - 1), blk
-}
-
 // Access performs a read or write. On a miss the line is fetched from the
 // level below (write-allocate); a dirty victim counts as a writeback but
 // adds no latency (posted writes). The access kind is passed through to
@@ -144,44 +151,72 @@ func (c *Cache) index(pa memdefs.PAddr) (set int, tag uint64) {
 func (c *Cache) Access(pa memdefs.PAddr, kind memdefs.AccessKind, write bool) (memdefs.Cycles, Where) {
 	c.stats.Accesses++
 	c.tick++
-	set, tag := c.index(pa)
-	ways := c.sets[set]
-	for i := range ways {
-		if ways[i].valid && ways[i].tag == tag {
+	blk := uint64(pa) >> c.lineOff
+	base := (int(blk) & (c.numSets - 1)) * c.ways
+	want := blk | lineValid
+	tags := c.tags[base : base+c.ways]
+	// MRU fast path: repeated lines sit at way 0 after the first hit.
+	if tags[0]&^lineDirty == want {
+		c.stats.Hits++
+		c.lru[base] = c.tick
+		if write {
+			tags[0] |= lineDirty
+		}
+		return c.cfg.AccessTime, c.cfg.Level
+	}
+	for i := 1; i < len(tags); i++ {
+		if tags[i]&^lineDirty == want {
 			c.stats.Hits++
-			ways[i].lru = c.tick
+			// Swap the hit line to way 0. Way order within a set is
+			// unobservable (see the type comment), so this is pure layout.
+			w := tags[i]
 			if write {
-				ways[i].dirty = true
+				w |= lineDirty
 			}
+			tags[i], tags[0] = tags[0], w
+			c.lru[base+i] = c.lru[base]
+			c.lru[base] = c.tick
 			return c.cfg.AccessTime, c.cfg.Level
 		}
 	}
 	c.stats.Misses++
 	lat, where := c.below.Access(pa, kind, false)
-	// Choose LRU victim.
+	// Choose the LRU victim (any invalid way first; they are
+	// interchangeable, so first-found matches the prior behavior).
 	victim := 0
-	for i := 1; i < len(ways); i++ {
-		if !ways[i].valid {
+	for i := 1; i < len(tags); i++ {
+		if tags[i]&lineValid == 0 {
 			victim = i
 			break
 		}
-		if ways[i].lru < ways[victim].lru {
+		if c.lru[base+i] < c.lru[base+victim] {
 			victim = i
 		}
 	}
-	if ways[victim].valid && ways[victim].dirty {
+	w := tags[victim]
+	if w&(lineValid|lineDirty) == lineValid|lineDirty {
 		c.stats.Writebacks++
 	}
-	ways[victim] = line{tag: tag, valid: true, dirty: write, lru: c.tick}
+	w = want
+	if write {
+		w |= lineDirty
+	}
+	// Fill at way 0 (MRU), moving the displaced line into the victim way.
+	tags[victim] = tags[0]
+	c.lru[base+victim] = c.lru[base]
+	tags[0] = w
+	c.lru[base] = c.tick
 	return c.cfg.AccessTime + lat, where
 }
 
 // Contains reports whether pa's line is resident (no state change); used
 // by tests and diagnostics.
 func (c *Cache) Contains(pa memdefs.PAddr) bool {
-	set, tag := c.index(pa)
-	for _, w := range c.sets[set] {
-		if w.valid && w.tag == tag {
+	blk := uint64(pa) >> c.lineOff
+	base := (int(blk) & (c.numSets - 1)) * c.ways
+	want := blk | lineValid
+	for _, w := range c.tags[base : base+c.ways] {
+		if w&^lineDirty == want {
 			return true
 		}
 	}
@@ -190,11 +225,8 @@ func (c *Cache) Contains(pa memdefs.PAddr) bool {
 
 // InvalidateAll empties the cache (used by tests).
 func (c *Cache) InvalidateAll() {
-	for i := range c.sets {
-		for j := range c.sets[i] {
-			c.sets[i][j] = line{}
-		}
-	}
+	clear(c.tags)
+	clear(c.lru)
 }
 
 // Hierarchy bundles one core's private L1 (split I/D) and L2, all sharing

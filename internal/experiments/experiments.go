@@ -39,6 +39,21 @@ type Options struct {
 	// 0 means GOMAXPROCS; 1 forces serial execution. Results are
 	// byte-identical at any width, so Jobs is excluded from JSON reports.
 	Jobs int `json:"-"`
+
+	// NoXCache disables the per-core translation-result cache
+	// (internal/xcache) on every machine the suite builds. The cache is
+	// simulator infrastructure with byte-identical output either way, so
+	// — like Jobs — it is excluded from JSON reports; the CI identity job
+	// diffs suite output with the cache on vs off.
+	NoXCache bool `json:"-"`
+	// XCacheAudit, when non-zero, cross-checks every Nth xcache hit
+	// against the modeled lookup (divergences surface through the TLB
+	// audit). Byte-identical either way; excluded from reports.
+	XCacheAudit uint64 `json:"-"`
+	// CoreShards > 0 steps each machine's cores concurrently on up to
+	// CoreShards goroutines with a deterministic quantum barrier.
+	// Byte-identical at any width >= 1; excluded from reports.
+	CoreShards int `json:"-"`
 }
 
 // Default returns the standard experiment options.
@@ -124,6 +139,9 @@ func (o Options) Params(a Arch) sim.Params {
 	if o.L3Bytes > 0 {
 		p.L3.SizeBytes = o.L3Bytes
 	}
+	p.XCache = !o.NoXCache
+	p.XCacheAudit = o.XCacheAudit
+	p.CoreShards = o.CoreShards
 	return p
 }
 
@@ -140,7 +158,7 @@ func ComputeApps() []*workloads.AppSpec {
 // deployServing builds a machine for one app with two containers per core
 // (the paper's conservative co-location) and runs warm-up + measurement.
 func deployServing(o Options, a Arch, spec *workloads.AppSpec) (*sim.Machine, *workloads.Deployment, error) {
-	m := sim.New(o.Params(a))
+	m := newMachine(o.Params(a))
 	d, err := workloads.Deploy(m, spec, o.Scale, o.Seed)
 	if err != nil {
 		return nil, nil, err

@@ -43,7 +43,7 @@ func Fig7(o Options) (*Fig7Result, error) {
 	for i, mode := range []kernel.Mode{kernel.ModeBaseline, kernel.ModeBabelFish} {
 		i, mode := i, mode
 		pl.add("fig7/"+mode.String(), func() error {
-			steps, snap, err := fig7Mode(mode)
+			steps, snap, err := fig7Mode(o, mode)
 			if err != nil {
 				return err
 			}
@@ -63,13 +63,18 @@ func Fig7(o Options) (*Fig7Result, error) {
 	return res, nil
 }
 
-// fig7Mode runs the three-container timeline on one fresh machine.
-func fig7Mode(mode kernel.Mode) ([3]Fig7Step, *telemetry.Snapshot, error) {
+// fig7Mode runs the three-container timeline on one fresh machine. The
+// example's scale is fixed by the paper; only the simulator-infrastructure
+// knobs (xcache, shards) are taken from o.
+func fig7Mode(o Options, mode kernel.Mode) ([3]Fig7Step, *telemetry.Snapshot, error) {
 	var steps [3]Fig7Step
 	p := sim.DefaultParams(mode)
 	p.Cores = 2
 	p.MemBytes = 256 << 20
-	m := sim.New(p)
+	p.XCache = !o.NoXCache
+	p.XCacheAudit = o.XCacheAudit
+	p.CoreShards = o.CoreShards
+	m := newMachine(p)
 	k := m.Kernel
 	g := k.NewGroup("fig7", 7)
 	tmpl, err := k.CreateProcess(g, "tmpl")

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"sync"
+
+	"babelfish/internal/sim"
+	"babelfish/internal/xcache"
+)
+
+// The suite-wide xcache accounting: every machine a runner builds goes
+// through newMachine, and when collection is on (bfbench -xcache-stats)
+// the machines are tracked so XCacheStatsTotal can aggregate their
+// translation-result cache counters after the run. Off by default — the
+// xcache is simulator infrastructure, deliberately invisible in suite
+// output.
+var (
+	xcMu      sync.Mutex
+	xcTrack   bool
+	xcTracked []*sim.Machine
+)
+
+// CollectXCacheStats enables or disables machine tracking and clears any
+// previously tracked machines.
+func CollectXCacheStats(on bool) {
+	xcMu.Lock()
+	defer xcMu.Unlock()
+	xcTrack = on
+	xcTracked = nil
+}
+
+// XCacheStatsTotal sums the xcache counters across every machine built
+// since collection was enabled. Counters reflect each machine's
+// measurement phase (warm-up stats are cleared at the ResetStats
+// boundary like all device stats).
+func XCacheStatsTotal() xcache.Stats {
+	xcMu.Lock()
+	defer xcMu.Unlock()
+	var agg xcache.Stats
+	for _, m := range xcTracked {
+		s := m.XCacheStats()
+		agg.Hits += s.Hits
+		agg.Misses += s.Misses
+		agg.Stale += s.Stale
+		agg.Fills += s.Fills
+		agg.Uncacheable += s.Uncacheable
+		agg.Audits += s.Audits
+		agg.AuditMismatches += s.AuditMismatches
+	}
+	return agg
+}
+
+// newMachine is the suite's single machine-construction seam: sim.New
+// plus optional tracking for the xcache roll-up.
+func newMachine(p sim.Params) *sim.Machine {
+	m := sim.New(p)
+	xcMu.Lock()
+	if xcTrack {
+		xcTracked = append(xcTracked, m)
+	}
+	xcMu.Unlock()
+	return m
+}

@@ -354,14 +354,27 @@ func (m *Memory) Table(ppn memdefs.PPN) *[memdefs.TableSize]uint64 {
 	return f.Table
 }
 
-// ReadEntry reads the idx-th 8-byte entry of a table frame.
+// ReadEntry reads the idx-th 8-byte entry of a table frame. The load is
+// atomic: in sharded machine stepping several hardware walkers read table
+// entries concurrently while others fold in Accessed/Dirty bits via
+// OrEntry.
 func (m *Memory) ReadEntry(ppn memdefs.PPN, idx int) uint64 {
-	return m.Table(ppn)[idx]
+	return atomic.LoadUint64(&m.Table(ppn)[idx])
 }
 
-// WriteEntry writes the idx-th 8-byte entry of a table frame.
+// WriteEntry writes the idx-th 8-byte entry of a table frame. Only the
+// kernel writes entries, and kernel mutations are serialized, so a plain
+// release store suffices.
 func (m *Memory) WriteEntry(ppn memdefs.PPN, idx int, v uint64) {
-	m.Table(ppn)[idx] = v
+	atomic.StoreUint64(&m.Table(ppn)[idx], v)
+}
+
+// OrEntry atomically ORs mask into the idx-th entry of a table frame —
+// the hardware walker's Accessed/Dirty update. OR is idempotent and
+// commutative, so concurrent walkers touching the same entry leave the
+// same final state regardless of interleaving.
+func (m *Memory) OrEntry(ppn memdefs.PPN, idx int, mask uint64) {
+	atomic.OrUint64(&m.Table(ppn)[idx], mask)
 }
 
 // EntryAddr returns the physical address of the idx-th entry of a table

@@ -56,20 +56,45 @@ func BenchmarkTranslate(b *testing.B) {
 
 // BenchmarkMachineRun measures whole-machine simulation throughput (the
 // scheduler loop, including the gated Info plumbing) with telemetry off.
+//
+// The variants isolate this PR's two levers: XCacheOff vs BabelFish is
+// the translation-result cache's win on the classic serial scheduler;
+// Wide vs Sharded is core-sharded stepping's win on a multi-core machine
+// (bounded by host CPUs — on a single-CPU host it measures barrier
+// overhead instead).
 func BenchmarkMachineRun(b *testing.B) {
-	for _, mode := range []kernel.Mode{kernel.ModeBaseline, kernel.ModeBabelFish} {
-		mode := mode
-		b.Run(mode.String(), func(b *testing.B) {
-			p := sim.DefaultParams(mode)
-			p.Cores = 1
+	cases := []struct {
+		name   string
+		mode   kernel.Mode
+		xcache bool
+		cores  int
+		shards int
+	}{
+		{"Baseline", kernel.ModeBaseline, true, 1, 0},
+		{"BabelFish", kernel.ModeBabelFish, true, 1, 0},
+		{"BabelFishXCacheOff", kernel.ModeBabelFish, false, 1, 0},
+		{"BabelFishWide", kernel.ModeBabelFish, true, 4, 0},
+		{"BabelFishSharded", kernel.ModeBabelFish, true, 4, 4},
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			p := sim.DefaultParams(c.mode)
+			p.Cores = c.cores
 			p.MemBytes = 512 << 20
+			p.XCache = c.xcache
+			p.CoreShards = c.shards
 			m := sim.New(p)
 			d, err := workloads.Deploy(m, workloads.MongoDB(), 0.25, 42)
 			if err != nil {
 				b.Fatal(err)
 			}
-			for j := 0; j < 2; j++ {
-				if _, _, err := d.Spawn(0, uint64(100+j)); err != nil {
+			tasks := 2
+			if c.cores > tasks {
+				tasks = c.cores
+			}
+			for j := 0; j < tasks; j++ {
+				if _, _, err := d.Spawn(j%c.cores, uint64(100+j)); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -23,6 +23,7 @@ import (
 	"babelfish/internal/physmem"
 	"babelfish/internal/telemetry"
 	"babelfish/internal/trace"
+	"babelfish/internal/xcache"
 )
 
 // ReqMark labels request boundaries inside a generated access stream.
@@ -50,6 +51,39 @@ type Generator interface {
 	Next(*Step) bool
 }
 
+// BatchGenerator is an optional Generator extension: NextBatch fills up
+// to len(buf) steps and returns how many were produced — exactly the
+// steps Next would have produced, in the same order. Short non-zero
+// counts are fine mid-stream; zero means the stream is complete. The
+// scheduler drains batching generators a request's worth at a time, so
+// the inner loop pays one dynamic dispatch per slice instead of one per
+// memory access.
+//
+// Identity contract: the scheduler consumes everything a call returned
+// before calling again, so a generator whose build machinery mutates
+// kernel state (unmap/remap churn) must build at most once per call —
+// that pins its mutations to the same point in machine time as
+// step-at-a-time generation. Pure generators may build as often as they
+// like to fill buf.
+type BatchGenerator interface {
+	Generator
+	NextBatch(buf []Step) int
+}
+
+// batchSteps sizes a task's step carry buffer. Unconsumed steps persist
+// on the task across quantum boundaries, so batching never reorders or
+// drops work relative to step-at-a-time generation.
+const batchSteps = 256
+
+// KernelMutator marks a generator whose step *production* mutates kernel
+// state (unmap/remap churn, like GraphChi's shard rotation). Sharded
+// stepping serializes such generators' refills at the quantum barrier;
+// generators without the marker (or reporting false) are assumed to be
+// pure producers and are refilled inline on their core's goroutine.
+type KernelMutator interface {
+	MutatesKernel() bool
+}
+
 // Params configures a machine.
 type Params struct {
 	Cores    int
@@ -69,6 +103,23 @@ type Params struct {
 	// core's TLBs, PWC and caches.
 	SMT bool
 
+	// XCache enables the per-core translation-result cache in front of
+	// the modeled TLB path (internal/xcache). Simulator infrastructure,
+	// not modeled hardware: suite output is byte-identical on or off.
+	XCache bool
+	// XCacheEntries sizes the cache (0 = xcache.DefaultEntries).
+	XCacheEntries int
+	// XCacheAudit, when non-zero, cross-checks every Nth xcache hit
+	// against the modeled lookup and latches any divergence for Audit.
+	XCacheAudit uint64
+
+	// CoreShards > 0 selects the sharded stepping mode: cores run their
+	// quanta concurrently on up to CoreShards goroutines between
+	// deterministic barriers, with kernel effects deferred to the barrier
+	// and applied in core-ID order. Output is identical for any shard
+	// count >= 1; 0 keeps the classic serial scheduler (the default).
+	CoreShards int
+
 	MMU    mmu.Config
 	Kernel kernel.Config
 	Hier   cache.HierarchyConfig
@@ -86,6 +137,7 @@ func DefaultParams(mode kernel.Mode) Params {
 		Quantum:   2_000_000,
 		CtxSwitch: 2000,
 		CPITenths: 5,
+		XCache:    true,
 		MMU: mmu.Config{
 			BabelFish:       mode == kernel.ModeBabelFish,
 			ASLRHW:          kcfg.ASLR == kernel.ASLRHW,
@@ -118,6 +170,20 @@ type Task struct {
 	reqStartOwn memdefs.Cycles
 	inReq       bool
 	Done        bool
+
+	// Step carry buffer for BatchGenerator streams (see batchSteps).
+	// boundGen tracks which generator the buffer state was derived from:
+	// callers may swap Gen between runs (the container engine substitutes
+	// the bring-up sequence), and syncGen re-binds lazily on the next pull.
+	boundGen Generator
+	bgen     BatchGenerator
+	batch    []Step
+	bpos     int
+	blen     int
+	// genMutates records whether the generator declared (via
+	// KernelMutator) that producing steps mutates kernel state; sharded
+	// stepping pushes such refills to the quantum barrier.
+	genMutates bool
 	// OOMKilled marks a task terminated by the machine's OOM killer: an
 	// allocation failed even after reclaim, so the process was exited (its
 	// memory freed) instead of crashing the whole run.
@@ -149,10 +215,20 @@ type Core struct {
 type Machine struct {
 	Params Params
 	Mem    *physmem.Memory
+	// L3 and DRAM are the shared last-level cache and memory backend of
+	// the classic build. A sharded build (Params.CoreShards > 0) gives
+	// every core a private L3 way-slice and DRAM instance instead (cores
+	// must not share mutable memory-system state during a parallel
+	// phase); both fields are then nil and coreL3/coreDRAM hold the
+	// per-core devices.
 	L3     *cache.Cache
 	DRAM   *dram.DRAM
 	Kernel *kernel.Kernel
 	Cores  []*Core
+
+	coreL3   []*cache.Cache
+	coreDRAM []*dram.DRAM
+	shardEng *shardEngine
 
 	// Tracer, when non-nil, records per-access translation events,
 	// context switches and faults (see internal/trace). Enable with
@@ -196,9 +272,11 @@ type Machine struct {
 	// concrete fields.
 	devGroups []deviceGroup
 
-	// Memory-system fault injection state (see SetMemInjector).
+	// Memory-system fault injection state (see SetMemInjector). A classic
+	// build has at most one DRAM fault port; a sharded build has one per
+	// core's private DRAM.
 	cacheFaultPorts []*memsys.FaultPort
-	dramFaultPort   *memsys.FaultPort
+	dramFaultPorts  []*memsys.FaultPort
 }
 
 // deviceGroup is a set of same-shaped devices (one per core for private
@@ -217,20 +295,56 @@ func (m *Machine) EnableTracing(n int) *trace.Ring {
 // New builds a machine.
 func New(p Params) *Machine {
 	mem := physmem.New(p.MemBytes)
-	d := dram.New(p.DRAM)
-	l3 := cache.New(p.L3, d)
 	k := kernel.New(mem, p.Kernel)
-	m := &Machine{Params: p, Mem: mem, L3: l3, DRAM: d, Kernel: k}
+	m := &Machine{Params: p, Mem: mem, Kernel: k}
+	sharded := p.CoreShards > 0
+	var sliceCfg cache.Config
+	if sharded {
+		m.shardEng = newShardEngine(m, p.CoreShards)
+		sliceCfg = l3SliceConfig(p.L3, p.Cores)
+	} else {
+		m.DRAM = dram.New(p.DRAM)
+		m.L3 = cache.New(p.L3, m.DRAM)
+	}
 	for i := 0; i < p.Cores; i++ {
+		l3 := m.L3
+		var os mmu.OS = k
+		if sharded {
+			d := dram.New(p.DRAM)
+			l3 = cache.New(sliceCfg, d)
+			m.coreDRAM = append(m.coreDRAM, d)
+			m.coreL3 = append(m.coreL3, l3)
+			os = &shardOS{eng: m.shardEng, core: i}
+		}
 		hier := cache.NewHierarchy(p.Hier, l3)
 		core := &Core{ID: i, Hier: hier, Mem: hier}
-		core.MMU = mmu.New(p.MMU, mem, hier, k)
+		core.MMU = mmu.New(p.MMU, mem, hier, os)
+		if p.XCache {
+			core.MMU.EnableXCache(xcache.Config{Entries: p.XCacheEntries, AuditEvery: p.XCacheAudit})
+		}
 		m.Cores = append(m.Cores, core)
+	}
+	if sharded {
+		m.shardEng.attach(m.Cores)
 	}
 	k.Hooks = m
 	m.buildDeviceGroups()
 	m.registerMetrics()
 	return m
+}
+
+// l3SliceConfig carves one core's way-slice out of the shared L3
+// configuration: same sets, ways divided among the cores (at least one),
+// size scaled to match.
+func l3SliceConfig(l3 cache.Config, cores int) cache.Config {
+	ways := l3.Ways / cores
+	if ways < 1 {
+		ways = 1
+	}
+	numSets := l3.SizeBytes / (l3.LineSize * l3.Ways)
+	l3.Ways = ways
+	l3.SizeBytes = numSets * l3.LineSize * ways
+	return l3
 }
 
 // buildDeviceGroups assembles the memsys device layer: per-core devices
@@ -244,6 +358,17 @@ func (m *Machine) buildDeviceGroups() {
 		}
 		return devs
 	}
+	l3devs := []memsys.Device{m.L3}
+	dramdevs := []memsys.Device{m.DRAM}
+	if m.shardEng != nil {
+		// Sharded build: per-core L3 slices and DRAM instances sum under
+		// the same telemetry prefixes as the shared devices would.
+		l3devs, dramdevs = nil, nil
+		for i := range m.coreL3 {
+			l3devs = append(l3devs, m.coreL3[i])
+			dramdevs = append(dramdevs, m.coreDRAM[i])
+		}
+	}
 	m.devGroups = []deviceGroup{
 		{"mmu", perCore(func(c *Core) memsys.Device { return c.MMU })},
 		{"tlb.l2", perCore(func(c *Core) memsys.Device { return c.MMU.L2 })},
@@ -253,8 +378,8 @@ func (m *Machine) buildDeviceGroups() {
 		{"cache.l1d", perCore(func(c *Core) memsys.Device { return c.Hier.L1D })},
 		{"cache.l1i", perCore(func(c *Core) memsys.Device { return c.Hier.L1I })},
 		{"cache.l2", perCore(func(c *Core) memsys.Device { return c.Hier.L2 })},
-		{"cache.l3", []memsys.Device{m.L3}},
-		{"dram", []memsys.Device{m.DRAM}},
+		{"cache.l3", l3devs},
+		{"dram", dramdevs},
 	}
 }
 
@@ -283,8 +408,13 @@ func (m *Machine) SetMemInjector(targets memsys.Target, cfg memsys.InjectConfig)
 		c.MMU.SetTLBInjector(nil)
 		c.MMU.SetPWCInjector(nil)
 	}
-	m.L3.SetBelow(m.DRAM)
-	m.cacheFaultPorts, m.dramFaultPort = nil, nil
+	if m.L3 != nil {
+		m.L3.SetBelow(m.DRAM)
+	}
+	for i := range m.coreL3 {
+		m.coreL3[i].SetBelow(m.coreDRAM[i])
+	}
+	m.cacheFaultPorts, m.dramFaultPorts = nil, nil
 	if targets == 0 || !cfg.Enabled() {
 		return
 	}
@@ -303,9 +433,16 @@ func (m *Machine) SetMemInjector(targets memsys.Target, cfg memsys.InjectConfig)
 		}
 	}
 	if targets&memsys.TargetDRAM != 0 {
-		fp := memsys.NewFaultPort(m.DRAM, memsys.NewInjector(cfg))
-		m.L3.SetBelow(fp)
-		m.dramFaultPort = fp
+		if m.L3 != nil {
+			fp := memsys.NewFaultPort(m.DRAM, memsys.NewInjector(cfg))
+			m.L3.SetBelow(fp)
+			m.dramFaultPorts = append(m.dramFaultPorts, fp)
+		}
+		for i := range m.coreL3 {
+			fp := memsys.NewFaultPort(m.coreDRAM[i], memsys.NewInjector(cfg))
+			m.coreL3[i].SetBelow(fp)
+			m.dramFaultPorts = append(m.dramFaultPorts, fp)
+		}
 	}
 }
 
@@ -320,8 +457,8 @@ func (m *Machine) MemInjected() uint64 {
 	for _, fp := range m.cacheFaultPorts {
 		t += fp.Injected()
 	}
-	if m.dramFaultPort != nil {
-		t += m.dramFaultPort.Injected()
+	for _, fp := range m.dramFaultPorts {
+		t += fp.Injected()
 	}
 	return t
 }
@@ -369,6 +506,7 @@ func (m *Machine) AddTask(coreID int, proc *kernel.Process, gen Generator) *Task
 		Lat:    metrics.NewHistogram(),
 		LatOwn: metrics.NewHistogram(),
 	}
+	t.syncGen()
 	t.ctx = mmu.Ctx{
 		PID:      proc.PID,
 		PCID:     proc.PCID,
@@ -386,6 +524,55 @@ func (m *Machine) AddTask(coreID int, proc *kernel.Process, gen Generator) *Task
 // Ctx exposes the task's MMU translation context (tests and benches
 // drive Translate directly with it).
 func (t *Task) Ctx() *mmu.Ctx { return &t.ctx }
+
+// syncGen (re-)derives the batching state from the task's current
+// generator. Generators are pointer-shaped, so a plain identity check
+// detects a swapped Gen; swapping discards any unconsumed buffered steps
+// of the old generator, matching the step-at-a-time behaviour where a
+// swap takes effect on the very next pull.
+func (t *Task) syncGen() {
+	if t.Gen == t.boundGen {
+		return
+	}
+	t.boundGen = t.Gen
+	t.bgen = nil
+	t.bpos, t.blen = 0, 0
+	t.genMutates = false
+	if bg, ok := t.Gen.(BatchGenerator); ok {
+		t.bgen = bg
+		if t.batch == nil {
+			t.batch = make([]Step, batchSteps)
+		}
+	}
+	if km, ok := t.Gen.(KernelMutator); ok {
+		t.genMutates = km.MutatesKernel()
+	}
+}
+
+// nextStep pulls the task's next step — through the batch carry buffer
+// when the generator batches, via Gen.Next into scratch otherwise. A nil
+// return means the stream is complete. Unconsumed buffered steps persist
+// across quantum boundaries, so both paths execute the same steps in the
+// same order.
+func (t *Task) nextStep(scratch *Step) *Step {
+	t.syncGen()
+	if t.bgen != nil {
+		if t.bpos == t.blen {
+			t.blen = t.bgen.NextBatch(t.batch)
+			t.bpos = 0
+			if t.blen == 0 {
+				return nil
+			}
+		}
+		s := &t.batch[t.bpos]
+		t.bpos++
+		return s
+	}
+	if !t.Gen.Next(scratch) {
+		return nil
+	}
+	return scratch
+}
 
 // liveTasks reports whether the core still has unfinished tasks.
 func (c *Core) liveTasks() bool {
@@ -462,6 +649,12 @@ func (m *Machine) stepOnce(c *Core, t *Task, step *Step, infoPtr *mmu.Info, obse
 
 	ppn, tc, err := c.MMU.TranslateInto(&t.ctx, step.VA, step.Write, step.Kind, infoPtr)
 	if err != nil {
+		if errors.Is(err, errShardDefer) {
+			// The step will be retried after the barrier services the
+			// fault: roll back its think charge so the retry is the only
+			// attempt that counts.
+			c.Cycles -= think
+		}
 		return err
 	}
 	if observe {
@@ -509,13 +702,14 @@ func (m *Machine) runQuantumSMT(c *Core, t1, t2 *Task) (uint64, error) {
 				break
 			}
 		}
-		if !t.Gen.Next(&step) {
+		sp := t.nextStep(&step)
+		if sp == nil {
 			t.Done = true
 			t.FinishCycles = c.Cycles
 			continue
 		}
-		instrs += uint64(step.Think) + 1
-		if err := m.stepOnce(c, t, &step, infoPtr, observe, 5); err != nil {
+		instrs += uint64(sp.Think) + 1
+		if err := m.stepOnce(c, t, sp, infoPtr, observe, 5); err != nil {
 			if m.oomKill(c, t, err) {
 				continue
 			}
@@ -551,13 +745,14 @@ func (m *Machine) runQuantumTask(c *Core, t *Task) (uint64, error) {
 		infoPtr = nil
 	}
 	for c.Cycles < end {
-		if !t.Gen.Next(&step) {
+		sp := t.nextStep(&step)
+		if sp == nil {
 			t.Done = true
 			t.FinishCycles = c.Cycles
 			break
 		}
-		instrs += uint64(step.Think) + 1
-		if err := m.stepOnce(c, t, &step, infoPtr, observe, 10); err != nil {
+		instrs += uint64(sp.Think) + 1
+		if err := m.stepOnce(c, t, sp, infoPtr, observe, 10); err != nil {
 			if m.oomKill(c, t, err) {
 				break
 			}
@@ -640,10 +835,24 @@ func (m *Machine) RunTaskOnly(t *Task) error {
 	return nil
 }
 
+// useSharded reports whether runs should go through the sharded stepping
+// engine: the machine was built with CoreShards > 0 and nothing forces
+// the classic serial schedule. SMT quanta interleave two tasks step by
+// step, and observation (tracer, telemetry sampler, obs recorder) hooks
+// every access into shared structures — both fall back to classic
+// scheduling, which is valid on a sharded build.
+func (m *Machine) useSharded() bool {
+	return m.shardEng != nil && !m.Params.SMT &&
+		m.Tracer == nil && !m.telemetryOn && m.obsRec == nil
+}
+
 // Run executes until every core has run at least instrBudget instructions
 // since this call (cores whose tasks all finish stop earlier). Cores are
 // interleaved one quantum at a time.
 func (m *Machine) Run(instrBudget uint64) error {
+	if m.useSharded() {
+		return m.shardEng.run(instrBudget, false)
+	}
 	start := make([]uint64, len(m.Cores))
 	for i, c := range m.Cores {
 		start[i] = c.Instrs
@@ -670,6 +879,9 @@ func (m *Machine) Run(instrBudget uint64) error {
 
 // RunToCompletion executes until every task on every core has finished.
 func (m *Machine) RunToCompletion() error {
+	if m.useSharded() {
+		return m.shardEng.run(0, true)
+	}
 	for {
 		progress := false
 		for _, c := range m.Cores {

@@ -1,0 +1,234 @@
+package sim_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"babelfish/internal/container"
+	"babelfish/internal/faultinject"
+	"babelfish/internal/kernel"
+	"babelfish/internal/memdefs"
+	"babelfish/internal/sim"
+	"babelfish/internal/tlb"
+	"babelfish/internal/workloads"
+)
+
+// stormParams is the machine shape shared by the identity tests: small
+// memory so the OOM-reclaim storm bites, BabelFish mode so every sharing
+// seam (CCID TLB entries, shared page tables, MaskPages) is live.
+func stormParams() sim.Params {
+	p := sim.DefaultParams(kernel.ModeBabelFish)
+	p.Cores = 2
+	p.MemBytes = 96 << 20
+	p.Quantum = 50_000
+	return p
+}
+
+// runStorm drives one machine through every kernel-mutation seam the
+// translation caches must survive, in a fixed seeded sequence:
+//
+//   - fork storm: container starts (fork + CoW arming + bring-up faults)
+//   - shootdown storm: the GraphChi dataset rotation unmaps and remaps
+//     file chunks mid-run, broadcasting shootdowns
+//   - teardown storm: container stops (exit flush, PCID release; the last
+//     exit of a generation tears shared tables down)
+//   - recycle storm: a new container generation reuses the group's layout
+//   - OOM-reclaim storm: a seeded allocation-fault injector forces
+//     reclaim and OOM kills under pressure
+//
+// It returns a fingerprint of everything the simulation computed; the
+// caller compares fingerprints across xcache/sharding configurations,
+// which must be byte-identical.
+func runStorm(t *testing.T, p sim.Params) string {
+	t.Helper()
+	m := sim.New(p)
+	d, err := workloads.Deploy(m, workloads.GraphChi(), 0.25, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := container.NewEngine(m)
+
+	var cs []*container.Container
+	start := func(n int, seedBase uint64) {
+		for i := 0; i < n; i++ {
+			c, err := e.Start(d, i%p.Cores, seedBase+uint64(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cs = append(cs, c)
+		}
+	}
+	run := func(instr uint64) {
+		if err := m.Run(instr); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	start(4, 20) // fork storm
+	run(120_000) // shootdown storm (dataset rotation)
+	e.Stop(d, cs[0])
+	e.Stop(d, cs[2]) // teardown storm
+	run(40_000)
+	start(2, 40) // recycle: new generation on the group's layout
+	m.Mem.SetInjector(faultinject.New(faultinject.Config{Seed: 0xBEEF, Nth: 7}))
+	run(80_000) // OOM-reclaim storm
+	m.Mem.SetInjector(nil)
+	run(40_000) // settle
+
+	// The books must balance in every configuration before we compare.
+	if rep := m.Kernel.Audit(); !rep.OK() {
+		t.Fatalf("kernel audit:\n%s", rep)
+	}
+	if rep := m.Mem.Audit(); !rep.OK() {
+		t.Fatalf("physmem audit:\n%s", rep)
+	}
+	if rep := m.AuditTLBs(); !rep.OK() {
+		t.Fatalf("TLB audit:\n%s", rep)
+	}
+	c, err := m.Counters()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var b strings.Builder
+	for _, core := range m.Cores {
+		fmt.Fprintf(&b, "core%d: cycles=%d instrs=%d\n", core.ID, core.Cycles, core.Instrs)
+	}
+	fmt.Fprintf(&b, "agg: %+v\n", m.Aggregate())
+	fmt.Fprintf(&b, "kernel: %+v\n", m.Kernel.Stats())
+	fmt.Fprintf(&b, "counters: %s\n", c)
+	fmt.Fprintf(&b, "oomKills: %d\n", m.OOMKills())
+	fmt.Fprintf(&b, "lat: mean=%.6f p95=%.6f\n", d.MeanLatency(), d.TailLatency(95))
+	return b.String()
+}
+
+// TestXCacheStormIdentity is the tentpole's correctness oracle at test
+// scale: the same storm sequence must produce byte-identical results with
+// the translation-result cache off, on, and on with the sampled
+// cross-check audit armed.
+func TestXCacheStormIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("storm identity is slow")
+	}
+	off := stormParams()
+	off.XCache = false
+	want := runStorm(t, off)
+
+	on := stormParams()
+	on.XCache = true
+	if got := runStorm(t, on); got != want {
+		t.Errorf("xcache on diverged from off:\n--- off ---\n%s--- on ---\n%s", want, got)
+	}
+
+	audited := stormParams()
+	audited.XCache = true
+	audited.XCacheAudit = 64
+	if got := runStorm(t, audited); got != want {
+		t.Errorf("xcache audit mode diverged from off:\n--- off ---\n%s--- audited ---\n%s", want, got)
+	}
+}
+
+// TestXCacheStormExercisesCache guards the identity test against
+// vacuity: the storm must actually hit the cache and actually invalidate
+// through the seams (stale rejections prove the generation anchoring
+// fires), and the armed audit must actually sample.
+func TestXCacheStormExercisesCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("storm is slow")
+	}
+	p := stormParams()
+	p.XCache = true
+	p.XCacheAudit = 64
+	m := sim.New(p)
+	d, err := workloads.Deploy(m, workloads.GraphChi(), 0.25, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := container.NewEngine(m)
+	for i := 0; i < 4; i++ {
+		if _, err := e.Start(d, i%p.Cores, 20+uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Run(150_000); err != nil {
+		t.Fatal(err)
+	}
+	s := m.XCacheStats()
+	if s.Hits == 0 || s.Fills == 0 {
+		t.Fatalf("storm never exercised the xcache: %+v", s)
+	}
+	if s.Stale == 0 {
+		t.Fatalf("storm never invalidated a cached translation (generation anchoring untested): %+v", s)
+	}
+	if s.Audits == 0 {
+		t.Fatalf("armed audit never sampled: %+v", s)
+	}
+	if s.AuditMismatches != 0 {
+		t.Fatalf("audit mismatches on a clean run: %+v", s)
+	}
+}
+
+// TestXCacheAuditCatchesSkippedInvalidation is the negative control for
+// the audit mode: corrupt live TLB entries in place — below the per-set
+// generation counters, exactly what a missed invalidation seam would look
+// like — and the sampled cross-check must catch the divergence and latch
+// it into the machine audit.
+func TestXCacheAuditCatchesSkippedInvalidation(t *testing.T) {
+	p := stormParams()
+	p.XCache = true
+	p.XCacheAudit = 1 // audit every hit: divergence cannot hide
+	m := sim.New(p)
+	d, err := workloads.Deploy(m, workloads.GraphChi(), 0.25, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := container.NewEngine(m)
+	for i := 0; i < 2; i++ {
+		if _, err := e.Start(d, i%p.Cores, 20+uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Run(60_000); err != nil {
+		t.Fatal(err)
+	}
+
+	// Skipped-invalidation simulation: move every valid 4KB entry's frame
+	// without going through Insert/Invalidate, so no generation moves and
+	// cached replays keep validating.
+	corrupted := 0
+	for _, c := range m.Cores {
+		c.MMU.L1D.ForEachValid(func(sz memdefs.PageSizeClass, e *tlb.Entry) {
+			if sz == memdefs.Page4K {
+				e.PPN ^= 1
+				corrupted++
+			}
+		})
+	}
+	if corrupted == 0 {
+		t.Fatal("no 4KB L1D entries to corrupt; storm too small")
+	}
+
+	// Keep running: the next audited hit on a corrupted page compares the
+	// cached result against the now-divergent modeled lookup.
+	if err := m.Run(60_000); err != nil {
+		t.Fatal(err)
+	}
+	s := m.XCacheStats()
+	if s.AuditMismatches == 0 {
+		t.Fatalf("audit never caught the skipped invalidation: %+v", s)
+	}
+	rep := m.AuditTLBs()
+	if rep.OK() {
+		t.Fatal("machine TLB audit reported OK despite latched xcache mismatches")
+	}
+	found := false
+	for _, v := range rep.Violations {
+		if strings.Contains(v, "xcache audit mismatch") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no xcache violation in the audit report:\n%s", strings.Join(rep.Violations, "\n"))
+	}
+}

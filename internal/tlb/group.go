@@ -52,9 +52,10 @@ func (g *Group) Lookup(va memdefs.VAddr, q Lookup) GroupResult {
 			continue
 		}
 		// q is already this call's private copy, so patch the VPN in
-		// place rather than copying the whole Lookup per size class.
+		// place and pass it by pointer rather than copying the whole
+		// Lookup per size class.
 		q.VPN = sz.VPNOf(va)
-		res, e, lat := t.LookupEntry(q)
+		res, e, lat := t.lookupEntry(&q)
 		if lat > out.Lat {
 			out.Lat = lat
 		}
@@ -156,6 +157,20 @@ func (g *Group) Stats() Stats {
 		s.Evictions += ts.Evictions
 	}
 	return s
+}
+
+// GateSig sums the cacheability signature (see TLB.GateSig) across the
+// group's structures. A group lookup whose signature did not move is a
+// pure function of the probed sets' contents, so a translation-result
+// cache may capture it under the sets' generation counters.
+func (g *Group) GateSig() uint64 {
+	var sig uint64
+	for _, t := range g.BydSize {
+		if t != nil {
+			sig += t.GateSig()
+		}
+	}
+	return sig
 }
 
 // ResetStats zeroes every structure's counters.

@@ -137,13 +137,34 @@ type Config struct {
 	AccessTimeMask memdefs.Cycles
 }
 
+// tagValid marks a live way in the packed tag-word array. VPNs are page
+// numbers of at most 52-bit virtual addresses, so the top bit is free.
+const tagValid = 1 << 63
+
 // TLB is one set-associative TLB structure for a single page-size class.
+//
+// Ways are stored flat (entries[set*ways+way]), fronted by a packed
+// tag-word array holding VPN|valid per way: the way scan — the hottest
+// loop in the simulator — touches one contiguous word per way and only
+// dereferences the full Entry for VPN-matching ways.
 type TLB struct {
 	cfg     Config
-	sets    [][]Entry
+	tagw    []uint64
+	entries []Entry
+	ways    int
 	numSets int
 	tick    uint64
 	stats   Stats
+
+	// gens holds one generation counter per set, bumped whenever the
+	// set's *contents* change (an insert, or an invalidation that removed
+	// at least one entry). LRU timestamps are deliberately excluded: they
+	// never change a lookup's outcome, and the next content change goes
+	// through Insert, which bumps the generation itself. A translation
+	// result cached outside the TLB (internal/xcache) is therefore valid
+	// exactly as long as the generations of every set it probed are
+	// unchanged.
+	gens []uint64
 }
 
 // New builds a TLB. Fully-associative structures use Ways == 0 or
@@ -166,11 +187,10 @@ func New(cfg Config) *TLB {
 	if cfg.AccessTimeMask == 0 {
 		cfg.AccessTimeMask = cfg.AccessTime
 	}
-	t := &TLB{cfg: cfg, numSets: numSets}
-	t.sets = make([][]Entry, numSets)
-	for i := range t.sets {
-		t.sets[i] = make([]Entry, ways)
-	}
+	t := &TLB{cfg: cfg, numSets: numSets, ways: ways}
+	t.tagw = make([]uint64, numSets*ways)
+	t.entries = make([]Entry, numSets*ways)
+	t.gens = make([]uint64, numSets)
 	return t
 }
 
@@ -183,8 +203,54 @@ func (t *TLB) Stats() Stats { return t.stats }
 // ResetStats zeroes the counters.
 func (t *TLB) ResetStats() { t.stats = Stats{} }
 
-func (t *TLB) set(vpn memdefs.VPN) []Entry {
-	return t.sets[int(vpn)&(t.numSets-1)]
+// base returns the flat index of the first way of vpn's set.
+func (t *TLB) base(vpn memdefs.VPN) int {
+	return (int(vpn) & (t.numSets - 1)) * t.ways
+}
+
+// SetGen returns a pointer to the generation counter of vpn's set plus
+// its current value. A caller caching a lookup result snapshots the pair
+// for every set the lookup probed; the cached result is provably still
+// what the modeled lookup would produce while *ptr == val (the set's
+// contents have not changed).
+func (t *TLB) SetGen(vpn memdefs.VPN) (*uint64, uint64) {
+	g := &t.gens[int(vpn)&(t.numSets-1)]
+	return g, *g
+}
+
+// ReplayMiss applies exactly the state changes a modeled LookupEntry
+// miss performs: the access and miss counters and the LRU tick. Used by
+// the translation-result cache to keep stats and LRU state byte-identical
+// to the modeled path when a cached result short-circuits the lookup.
+func (t *TLB) ReplayMiss() {
+	t.stats.Accesses++
+	t.tick++
+	t.stats.Misses++
+}
+
+// ReplayHit applies exactly the state changes a modeled LookupEntry hit
+// on e performs (the plain-hit path: no mask check, no CoW/prot fault).
+// shared tells whether the modeled path counted a shared hit
+// (e.BroughtBy != probing PID at fill time — invariant while the set
+// generation is unchanged, since BroughtBy is only written by Insert).
+func (t *TLB) ReplayHit(e *Entry, shared bool) {
+	t.stats.Accesses++
+	t.tick++
+	t.stats.Hits++
+	if shared {
+		t.stats.SharedHits++
+	}
+	e.lru = t.tick
+}
+
+// GateSig is the cacheability signature: the sum of the counters that
+// fire when a lookup's outcome depended on state outside the set-content
+// generations (PC-bitmask reads against kernel MaskPage state, private
+// -copy skips, CoW/prot fault classifications). A lookup is safe to
+// cache only if the signature did not move across it.
+func (t *TLB) GateSig() uint64 {
+	s := &t.stats
+	return s.MaskChecks + s.PrivateCopySkips + s.CoWFaultHits + s.ProtFaultHits
 }
 
 // permOK checks the access against entry permissions, ignoring the CoW
@@ -207,34 +273,43 @@ func permOK(e *Entry, q *Lookup) bool {
 // resolved once outside the loop, and each way is rejected on the VPN
 // compare before any mode logic runs.
 func (t *TLB) LookupEntry(q Lookup) (Result, *Entry, memdefs.Cycles) {
+	return t.lookupEntry(&q)
+}
+
+// lookupEntry is LookupEntry without the per-call Lookup copy; the group
+// probe loop passes its single mutable Lookup by pointer across up to
+// three size classes.
+func (t *TLB) lookupEntry(q *Lookup) (Result, *Entry, memdefs.Cycles) {
 	t.stats.Accesses++
 	t.tick++
 	lat := t.cfg.AccessTime
 	vpn := q.VPN
-	ways := t.set(vpn)
+	base := t.base(vpn)
+	tags := t.tagw[base : base+t.ways]
+	want := uint64(vpn) | tagValid
 
 	if t.cfg.Mode == TagPCID {
 		pcid := q.PCID
-		for i := range ways {
-			e := &ways[i]
-			if e.VPN != vpn || !e.Valid {
+		for i, w := range tags {
+			if w != want {
 				continue
 			}
+			e := &t.entries[base+i]
 			if !e.Global && e.PCID != pcid {
 				continue
 			}
-			return t.finishHit(e, &q, lat)
+			return t.finishHit(e, q, lat)
 		}
 		t.stats.Misses++
 		return Miss, nil, lat
 	}
 
 	ccid := q.CCID
-	for i := range ways {
-		e := &ways[i]
-		if e.VPN != vpn || !e.Valid {
+	for i, w := range tags {
+		if w != want {
 			continue
 		}
+		e := &t.entries[base+i]
 		// TagCCID: VPN and CCID must match (step 1).
 		if e.CCID != ccid {
 			continue
@@ -244,7 +319,7 @@ func (t *TLB) LookupEntry(q Lookup) (Result, *Entry, memdefs.Cycles) {
 			if e.PCID != q.PCID {
 				continue
 			}
-			return t.finishHit(e, &q, lat)
+			return t.finishHit(e, q, lat)
 		}
 		// Shared entry. If ORPC is set, the process must check its own
 		// bit in the PC bitmask (step 3); the check costs the long
@@ -266,7 +341,7 @@ func (t *TLB) LookupEntry(q Lookup) (Result, *Entry, memdefs.Cycles) {
 			t.stats.CoWFaultHits++
 			return HitCoWFault, e, lat
 		}
-		return t.finishHit(e, &q, lat)
+		return t.finishHit(e, q, lat)
 	}
 	t.stats.Misses++
 	return Miss, nil, lat
@@ -305,33 +380,44 @@ func (t *TLB) Insert(e Entry) {
 		e.MaskLoaded = true
 		t.stats.MaskLoads++
 	}
-	ways := t.set(e.VPN)
+	si := int(e.VPN) & (t.numSets - 1)
+	t.gens[si]++
+	base := si * t.ways
+	tags := t.tagw[base : base+t.ways]
 	victim := 0
-	for i := range ways {
-		if !ways[i].Valid {
+	bestLRU := ^uint64(0)
+	for i := range tags {
+		if tags[i]&tagValid == 0 {
 			victim = i
 			break
 		}
-		if ways[i].lru < ways[victim].lru {
+		if l := t.entries[base+i].lru; l < bestLRU {
+			bestLRU = l
 			victim = i
 		}
 	}
-	if ways[victim].Valid {
+	if tags[victim]&tagValid != 0 {
 		t.stats.Evictions++
 	}
-	ways[victim] = e
+	t.entries[base+victim] = e
+	tags[victim] = uint64(e.VPN) | tagValid
 }
 
 // InvalidateVPN removes every entry for vpn regardless of tags (a full
 // shootdown). Returns the number removed.
 func (t *TLB) InvalidateVPN(vpn memdefs.VPN) int {
 	n := 0
-	ways := t.set(vpn)
-	for i := range ways {
-		if ways[i].Valid && ways[i].VPN == vpn {
-			ways[i].Valid = false
+	base := t.base(vpn)
+	want := uint64(vpn) | tagValid
+	for i := base; i < base+t.ways; i++ {
+		if t.tagw[i] == want {
+			t.tagw[i] = 0
+			t.entries[i].Valid = false
 			n++
 		}
+	}
+	if n > 0 {
+		t.gens[int(vpn)&(t.numSets-1)]++
 	}
 	t.stats.Invalidations += uint64(n)
 	return n
@@ -342,13 +428,18 @@ func (t *TLB) InvalidateVPN(vpn memdefs.VPN) int {
 // sibling translations and all private (O==1) entries untouched.
 func (t *TLB) InvalidateSharedVPN(vpn memdefs.VPN, ccid memdefs.CCID) int {
 	n := 0
-	ways := t.set(vpn)
-	for i := range ways {
-		e := &ways[i]
-		if e.Valid && e.VPN == vpn && !e.Owned && (t.cfg.Mode == TagPCID || e.CCID == ccid) {
+	base := t.base(vpn)
+	want := uint64(vpn) | tagValid
+	for i := base; i < base+t.ways; i++ {
+		e := &t.entries[i]
+		if t.tagw[i] == want && !e.Owned && (t.cfg.Mode == TagPCID || e.CCID == ccid) {
+			t.tagw[i] = 0
 			e.Valid = false
 			n++
 		}
+	}
+	if n > 0 {
+		t.gens[int(vpn)&(t.numSets-1)]++
 	}
 	t.stats.Invalidations += uint64(n)
 	return n
@@ -358,13 +449,17 @@ func (t *TLB) InvalidateSharedVPN(vpn memdefs.VPN, ccid memdefs.CCID) int {
 // baseline's per-process invalidation).
 func (t *TLB) InvalidatePCIDVPN(vpn memdefs.VPN, pcid memdefs.PCID) int {
 	n := 0
-	ways := t.set(vpn)
-	for i := range ways {
-		e := &ways[i]
-		if e.Valid && e.VPN == vpn && e.PCID == pcid {
-			e.Valid = false
+	base := t.base(vpn)
+	want := uint64(vpn) | tagValid
+	for i := base; i < base+t.ways; i++ {
+		if t.tagw[i] == want && t.entries[i].PCID == pcid {
+			t.tagw[i] = 0
+			t.entries[i].Valid = false
 			n++
 		}
+	}
+	if n > 0 {
+		t.gens[int(vpn)&(t.numSets-1)]++
 	}
 	t.stats.Invalidations += uint64(n)
 	return n
@@ -376,13 +471,18 @@ func (t *TLB) InvalidatePCIDVPN(vpn memdefs.VPN, pcid memdefs.PCID) int {
 // were brought in by that PCID; other sharers simply refill.
 func (t *TLB) FlushPCID(pcid memdefs.PCID) int {
 	n := 0
-	for s := range t.sets {
-		for i := range t.sets[s] {
-			e := &t.sets[s][i]
-			if e.Valid && e.PCID == pcid {
-				e.Valid = false
+	for s := 0; s < t.numSets; s++ {
+		removed := false
+		for i := s * t.ways; i < (s+1)*t.ways; i++ {
+			if t.tagw[i]&tagValid != 0 && t.entries[i].PCID == pcid {
+				t.tagw[i] = 0
+				t.entries[i].Valid = false
+				removed = true
 				n++
 			}
+		}
+		if removed {
+			t.gens[s]++
 		}
 	}
 	t.stats.Invalidations += uint64(n)
@@ -391,21 +491,21 @@ func (t *TLB) FlushPCID(pcid memdefs.PCID) int {
 
 // FlushAll invalidates the whole TLB.
 func (t *TLB) FlushAll() {
-	for s := range t.sets {
-		for i := range t.sets[s] {
-			t.sets[s][i].Valid = false
-		}
+	clear(t.tagw)
+	for i := range t.entries {
+		t.entries[i].Valid = false
+	}
+	for s := range t.gens {
+		t.gens[s]++
 	}
 }
 
 // ForEachValid calls fn for every valid entry (diagnostics/audits). The
 // pointer is valid only for the duration of the call.
 func (t *TLB) ForEachValid(fn func(*Entry)) {
-	for s := range t.sets {
-		for i := range t.sets[s] {
-			if t.sets[s][i].Valid {
-				fn(&t.sets[s][i])
-			}
+	for i := range t.entries {
+		if t.tagw[i]&tagValid != 0 {
+			fn(&t.entries[i])
 		}
 	}
 }
@@ -413,11 +513,9 @@ func (t *TLB) ForEachValid(fn func(*Entry)) {
 // Occupancy returns the number of valid entries (diagnostics/tests).
 func (t *TLB) Occupancy() int {
 	n := 0
-	for s := range t.sets {
-		for i := range t.sets[s] {
-			if t.sets[s][i].Valid {
-				n++
-			}
+	for _, w := range t.tagw {
+		if w&tagValid != 0 {
+			n++
 		}
 	}
 	return n

@@ -208,14 +208,11 @@ func TestInsertClearsMaskPerORPCLogic(t *testing.T) {
 	e.PCMask = 0xFF
 	tb.Insert(e)
 	// Owned entries do not load the mask (Figure 5b).
-	set := tb.set(0x10)
-	for i := range set {
-		if set[i].Valid && set[i].VPN == 0x10 {
-			if set[i].PCMask != 0 || set[i].MaskLoaded {
-				t.Fatal("mask loaded for owned entry")
-			}
+	tb.ForEachValid(func(e *Entry) {
+		if e.VPN == 0x10 && (e.PCMask != 0 || e.MaskLoaded) {
+			t.Fatal("mask loaded for owned entry")
 		}
-	}
+	})
 	if tb.Stats().MaskLoads != 0 {
 		t.Fatal("mask load counted for owned entry")
 	}

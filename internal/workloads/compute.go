@@ -245,6 +245,26 @@ func (g *graphGen) Next(out *sim.Step) bool {
 	return g.q.pop(out)
 }
 
+// NextBatch implements sim.BatchGenerator. At most one vertex is built
+// per call: buildBatch can rotate a dataset shard (unmap + remap, with
+// shootdowns), and building exactly when the previous steps have all been
+// consumed keeps those kernel mutations at the same point in machine time
+// as step-at-a-time generation.
+func (g *graphGen) NextBatch(buf []sim.Step) int {
+	if g.q.empty() {
+		g.buildBatch()
+	}
+	return g.q.popN(buf)
+}
+
+// MutatesKernel implements sim.KernelMutator: shard rotation unmaps and
+// remaps dataset windows, so sharded stepping must serialize this
+// generator's refills at the quantum barrier. True only when the dataset
+// is actually chunked and file-backed (rotateShard's own precondition).
+func (g *graphGen) MutatesKernel() bool {
+	return g.rotateEvery > 0 && g.env.RDataset.Chunked() && g.env.DatasetFile != nil
+}
+
 // FIO models the flexible I/O tester doing random reads and writes over
 // an in-memory MAP_SHARED dataset. Both containers sweep the same
 // dataset, so a large fraction of translations brought in by one are
@@ -317,4 +337,16 @@ func (g *fioGen) Next(out *sim.Step) bool {
 		g.buildOp()
 	}
 	return g.q.pop(out)
+}
+
+// NextBatch implements sim.BatchGenerator.
+func (g *fioGen) NextBatch(buf []sim.Step) int {
+	n := 0
+	for n < len(buf) {
+		if g.q.empty() {
+			g.buildOp()
+		}
+		n += g.q.popN(buf[n:])
+	}
+	return n
 }

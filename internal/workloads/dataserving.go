@@ -374,3 +374,16 @@ func (g *dataServingGen) Next(out *sim.Step) bool {
 	}
 	return g.q.pop(out)
 }
+
+// NextBatch implements sim.BatchGenerator: whole requests are drained
+// into buf in one call instead of one interface dispatch per step.
+func (g *dataServingGen) NextBatch(buf []sim.Step) int {
+	n := 0
+	for n < len(buf) {
+		if g.q.empty() {
+			g.buildRequest()
+		}
+		n += g.q.popN(buf[n:])
+	}
+	return n
+}

@@ -187,6 +187,16 @@ func (g *funcGen) Next(out *sim.Step) bool {
 	return g.q.pop(out)
 }
 
+// NextBatch implements sim.BatchGenerator; zero means the function's
+// input is fully processed.
+func (g *funcGen) NextBatch(buf []sim.Step) int {
+	n := 0
+	for n < len(buf) && g.Next(&buf[n]) {
+		n++
+	}
+	return n
+}
+
 // BringUp models `docker start` from a pre-created image: the runtime
 // initialization touches a prefix of the infra/binary/library pages —
 // mostly reads, with some writes into the data segment and early heap.
@@ -218,6 +228,19 @@ func (b *BringUp) Next(out *sim.Step) bool {
 		return false
 	}
 	return b.q.pop(out)
+}
+
+// NextBatch implements sim.BatchGenerator; zero signals the end of
+// bring-up.
+func (b *BringUp) NextBatch(buf []sim.Step) int {
+	n := 0
+	for n < len(buf) {
+		if b.q.empty() && !b.fill() {
+			break
+		}
+		n += b.q.popN(buf[n:])
+	}
+	return n
 }
 
 func (b *BringUp) fill() bool {

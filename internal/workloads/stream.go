@@ -98,6 +98,17 @@ type stepQueue struct {
 
 func (q *stepQueue) push(s sim.Step) { q.steps = append(q.steps, s) }
 func (q *stepQueue) empty() bool     { return q.head >= len(q.steps) }
+
+// popN drains up to len(buf) queued steps into buf in order.
+func (q *stepQueue) popN(buf []sim.Step) int {
+	n := copy(buf, q.steps[q.head:])
+	q.head += n
+	if q.empty() {
+		q.steps = q.steps[:0]
+		q.head = 0
+	}
+	return n
+}
 func (q *stepQueue) pop(out *sim.Step) bool {
 	if q.empty() {
 		return false
@@ -130,4 +141,36 @@ func (c *Chain) Next(out *sim.Step) bool {
 		c.i++
 	}
 	return false
+}
+
+// MutatesKernel implements sim.KernelMutator: a chain mutates kernel
+// state while producing steps iff any of its links does.
+func (c *Chain) MutatesKernel() bool {
+	for _, g := range c.Gens {
+		if km, ok := g.(sim.KernelMutator); ok && km.MutatesKernel() {
+			return true
+		}
+	}
+	return false
+}
+
+// NextBatch implements sim.BatchGenerator: one call returns one chunk
+// from the current link (its own NextBatch when it has one, a single
+// step otherwise), advancing to the next link exactly where Next would.
+// It deliberately does not loop to fill buf — a link's build machinery
+// may mutate kernel state, and chaining a second build before the first
+// chunk's steps execute would move those mutations earlier in machine
+// time than step-at-a-time generation.
+func (c *Chain) NextBatch(buf []sim.Step) int {
+	for c.i < len(c.Gens) {
+		if bg, ok := c.Gens[c.i].(sim.BatchGenerator); ok {
+			if k := bg.NextBatch(buf); k > 0 {
+				return k
+			}
+		} else if c.Gens[c.i].Next(&buf[0]) {
+			return 1
+		}
+		c.i++
+	}
+	return 0
 }

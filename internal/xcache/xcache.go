@@ -1,0 +1,239 @@
+// Package xcache implements a per-core software translation-result cache
+// that sits in front of the modeled TLB hierarchy ("Fast TLB Simulation
+// for RISC-V Systems" simulates exactly this way: cache final VA→PA
+// results in a flat structure and invalidate on kernel events, so the
+// detailed model only runs on cold or invalidated paths).
+//
+// Unlike a plain memo table, an entry here must reproduce the modeled
+// path *byte for byte*: the simulator's correctness oracle is full
+// byte-identity of suite output with the cache on vs off. Three
+// restrictions make that possible while keeping the fast path to one
+// 64-byte slot probe:
+//
+//   - Only clean 4KB L1-TLB hits are cached. The 4KB class is the first
+//     structure a group probe consults, so such a hit touches exactly one
+//     TLB set and performs a fixed recipe — Accesses++, tick++, Hits++
+//     (plus SharedHits) and the hit entry's LRU stamp — which the cache
+//     replays through tlb.ReplayHit. Hits in larger classes (rare) and
+//     lookups whose outcome depended on state outside the probed set
+//     (PC-bitmask reads, CoW or protection faults, private-copy skips —
+//     detected by the tlb.GateSig snapshot) fall through to the model.
+//
+//   - Validity is anchored to the per-set generation counter the TLB
+//     structure bumps on every content change (fills, invalidations,
+//     flushes — every kernel mutation seam reaches the TLB through those
+//     paths: shootdowns, unmap/remap, protection changes, CoW breaks,
+//     CCID recycling via process flushes, OOM reclaim). An entry records
+//     the (pointer, value) generation pair of the one set its lookup
+//     probed; a probe re-validates it, so a cached result is served only
+//     while the modeled lookup provably reproduces it.
+//
+//   - The probing PID is part of the key (the shared-hit stat depends on
+//     who probes, and PCIDs may be recycled across process lifetimes).
+//
+// A sampled cross-check audit (AuditEvery) additionally runs the full
+// modeled lookup instead of the replay on every Nth cache hit and
+// compares outcomes; a divergence — impossible unless some mutation
+// bypassed the TLB seams — is latched for the machine-level audit.
+package xcache
+
+import (
+	"fmt"
+
+	"babelfish/internal/memdefs"
+	"babelfish/internal/tlb"
+)
+
+// Config sizes the cache.
+type Config struct {
+	// Entries is the number of direct-mapped slots (rounded up to a power
+	// of two; 0 selects DefaultEntries).
+	Entries int
+	// AuditEvery, when non-zero, cross-checks every Nth cache hit against
+	// the modeled lookup (the hit is served by the modeled path, so
+	// auditing does not perturb byte-identity).
+	AuditEvery uint64
+}
+
+// DefaultEntries is the default slot count per core. At 64 bytes per
+// slot this is 256KB per core of host memory — sized to hold the hot
+// page set of a container's working set without rivalling the host L2.
+const DefaultEntries = 4096
+
+// Stats counts cache behaviour. These are simulator infrastructure, not
+// modeled hardware state: they are deliberately kept out of the modeled
+// telemetry registry so suite output stays byte-identical with the cache
+// on vs off (surfaced instead via explicit -xcache-stats style flags).
+type Stats struct {
+	Hits            uint64 // probes served from the cache
+	Misses          uint64 // probes that fell through to the modeled path
+	Stale           uint64 // probes rejected by a generation mismatch
+	Fills           uint64 // entries installed after a cacheable L1 hit
+	Uncacheable     uint64 // L1 hits refused by the GateSig cacheability gate
+	Audits          uint64 // sampled cross-checks performed
+	AuditMismatches uint64 // cross-checks where replay and model diverged
+}
+
+// meta packs the non-VPN key fields and the entry flags into one word:
+// PCID in bits 0-15, CCID 16-31, PID 32-55, kind 56-57, then the write,
+// shared and valid flags. PIDs are process indices (well under 2^24) and
+// kind is one of three access kinds, so the fields never collide.
+const (
+	metaWrite  = 1 << 58
+	metaShared = 1 << 59
+	metaValid  = 1 << 63
+)
+
+func metaKey(pid memdefs.PID, pcid memdefs.PCID, ccid memdefs.CCID, kind memdefs.AccessKind, write bool) uint64 {
+	k := uint64(pcid) | uint64(ccid)<<16 | uint64(pid)<<32 | uint64(kind)<<56 | metaValid
+	if write {
+		k |= metaWrite
+	}
+	return k
+}
+
+// Entry is one cached translation result plus its replay recipe, packed
+// into a single 64-byte host cache line.
+type Entry struct {
+	vpn  uint64      // 4KB-page VPN of the access
+	meta uint64      // packed context key + flags (see metaKey)
+	hit  *tlb.Entry  // the hit entry, for its LRU stamp
+	t    *tlb.TLB    // the 4KB structure that hit
+	gen  *uint64     // generation counter of the probed set...
+	genv uint64      // ...and its value at fill time
+	ppn  memdefs.PPN // final frame, within-page offset applied by the caller
+	lat  memdefs.Cycles
+}
+
+// PPN returns the cached final frame number.
+func (e *Entry) PPN() memdefs.PPN { return e.ppn }
+
+// Lat returns the cached L1 lookup latency.
+func (e *Entry) Lat() memdefs.Cycles { return e.lat }
+
+// XCache is one core's translation-result cache.
+type XCache struct {
+	entries    []Entry
+	mask       uint64
+	auditEvery uint64
+	hitSeq     uint64
+	stats      Stats
+	mismatch   string // first audit divergence, latched for the audit
+}
+
+// New builds a cache.
+func New(cfg Config) *XCache {
+	n := cfg.Entries
+	if n <= 0 {
+		n = DefaultEntries
+	}
+	// Round up to a power of two for mask indexing.
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return &XCache{
+		entries:    make([]Entry, p),
+		mask:       uint64(p - 1),
+		auditEvery: cfg.AuditEvery,
+	}
+}
+
+// Stats returns a copy of the counters.
+func (x *XCache) Stats() Stats { return x.stats }
+
+// ResetStats zeroes the counters (warm-up boundary). Cached entries
+// persist, like TLB contents do.
+func (x *XCache) ResetStats() { x.stats = Stats{} }
+
+// FlushAll drops every cached entry (used when a TLB fault injector is
+// armed or disarmed: poison-mode injection mutates TLB entries in place,
+// below the generation counters).
+func (x *XCache) FlushAll() {
+	for i := range x.entries {
+		x.entries[i].meta = 0
+	}
+}
+
+// Mismatch returns the latched first audit divergence ("" when none).
+func (x *XCache) Mismatch() string { return x.mismatch }
+
+// slot hashes the key to a direct-mapped index (Fibonacci hashing;
+// deterministic, no host-dependent state).
+func (x *XCache) slot(vpn uint64, key uint64) *Entry {
+	h := (vpn ^ key) * 0x9E3779B97F4A7C15
+	return &x.entries[(h>>32)&x.mask]
+}
+
+// Probe looks the key up. It returns the matching valid entry with its
+// generation pair intact, or nil when the modeled path must run. audit
+// is true on every AuditEvery-th hit: the caller must then run the
+// modeled lookup instead of Apply and report the comparison through
+// AuditResult. Probe does not replay — the caller chooses Apply or the
+// audit path.
+func (x *XCache) Probe(vpn memdefs.VPN, pid memdefs.PID, pcid memdefs.PCID, ccid memdefs.CCID, kind memdefs.AccessKind, write bool) (e *Entry, audit bool) {
+	key := metaKey(pid, pcid, ccid, kind, write)
+	e = x.slot(uint64(vpn), key)
+	if e.vpn != uint64(vpn) || e.meta&^metaShared != key {
+		x.stats.Misses++
+		return nil, false
+	}
+	if *e.gen != e.genv {
+		e.meta = 0
+		x.stats.Stale++
+		x.stats.Misses++
+		return nil, false
+	}
+	x.stats.Hits++
+	if x.auditEvery != 0 {
+		x.hitSeq++
+		if x.hitSeq%x.auditEvery == 0 {
+			x.stats.Audits++
+			return e, true
+		}
+	}
+	return e, false
+}
+
+// Apply replays the cached lookup's exact state mutations on the probed
+// TLB structure.
+func (x *XCache) Apply(e *Entry) {
+	e.t.ReplayHit(e.hit, e.meta&metaShared != 0)
+}
+
+// AuditResult reports a sampled cross-check: the modeled lookup ran in
+// place of the replay and produced (res, entry, lat, size, ppn). Any
+// divergence from the cached result is latched; the machine-level audit
+// surfaces it as an invariant violation.
+func (x *XCache) AuditResult(e *Entry, res tlb.Result, hit *tlb.Entry, lat memdefs.Cycles, size memdefs.PageSizeClass, ppn memdefs.PPN) {
+	if res == tlb.Hit && hit == e.hit && lat == e.lat && size == memdefs.Page4K && ppn == e.ppn {
+		return
+	}
+	x.stats.AuditMismatches++
+	if x.mismatch == "" {
+		x.mismatch = fmt.Sprintf(
+			"xcache: audit mismatch vpn=%#x meta=%#x: cached ppn=%#x lat=%d, model res=%v ppn=%#x lat=%d size=%v",
+			e.vpn, e.meta, e.ppn, e.lat, res, ppn, lat, size)
+	}
+	// The cached entry lied once; never serve it again.
+	e.meta = 0
+}
+
+// Fill installs the result of a cacheable 4KB L1 group hit: t is the 4KB
+// structure that hit (the first one the group probe consults, so it is
+// the only set the lookup touched), hit the entry, lat the group
+// latency, shared whether the hit counted as a shared hit, and ppn the
+// final frame (offset applied).
+func (x *XCache) Fill(t *tlb.TLB, vpn memdefs.VPN, hit *tlb.Entry, lat memdefs.Cycles, shared bool, ppn memdefs.PPN, pid memdefs.PID, pcid memdefs.PCID, ccid memdefs.CCID, kind memdefs.AccessKind, write bool) {
+	key := metaKey(pid, pcid, ccid, kind, write)
+	e := x.slot(uint64(vpn), key)
+	if shared {
+		key |= metaShared
+	}
+	gp, gv := t.SetGen(vpn)
+	*e = Entry{vpn: uint64(vpn), meta: key, hit: hit, t: t, gen: gp, genv: gv, ppn: ppn, lat: lat}
+	x.stats.Fills++
+}
+
+// NoteUncacheable counts an L1 hit the GateSig gate refused to cache.
+func (x *XCache) NoteUncacheable() { x.stats.Uncacheable++ }

@@ -1,0 +1,169 @@
+package xcache_test
+
+import (
+	"testing"
+
+	"babelfish/internal/memdefs"
+	"babelfish/internal/tlb"
+	"babelfish/internal/xcache"
+)
+
+// newTLB builds a small 4KB TLB with one resident entry and returns the
+// structure plus the inserted entry's lookup result (the hit pointer and
+// group latency an MMU would pass to Fill).
+func newTLB(t *testing.T) (*tlb.TLB, *tlb.Entry, memdefs.Cycles) {
+	t.Helper()
+	tb := tlb.New(tlb.Config{Name: "l1d", Entries: 16, Ways: 4, Size: memdefs.Page4K, Mode: tlb.TagPCID, AccessTime: 1})
+	tb.Insert(tlb.Entry{Valid: true, VPN: 0x42, PPN: 0x99, Perm: memdefs.Perm(0x7), PCID: 3, BroughtBy: 7})
+	res, hit, lat := tb.LookupEntry(tlb.Lookup{VPN: 0x42, PCID: 3, PID: 7})
+	if res != tlb.Hit || hit == nil {
+		t.Fatalf("setup lookup: res=%v hit=%v", res, hit)
+	}
+	return tb, hit, lat
+}
+
+func fill(x *xcache.XCache, tb *tlb.TLB, hit *tlb.Entry, lat memdefs.Cycles) {
+	x.Fill(tb, 0x42, hit, lat, false, 0x99, 7, 3, 0, memdefs.AccessData, false)
+}
+
+func TestFillProbeApply(t *testing.T) {
+	tb, hit, lat := newTLB(t)
+	x := xcache.New(xcache.Config{Entries: 64})
+
+	if e, _ := x.Probe(0x42, 7, 3, 0, memdefs.AccessData, false); e != nil {
+		t.Fatal("probe hit an empty cache")
+	}
+	fill(x, tb, hit, lat)
+	e, audit := x.Probe(0x42, 7, 3, 0, memdefs.AccessData, false)
+	if e == nil || audit {
+		t.Fatalf("probe after fill: e=%v audit=%v", e, audit)
+	}
+	if e.PPN() != 0x99 || e.Lat() != lat {
+		t.Fatalf("cached result ppn=%#x lat=%d, want ppn=0x99 lat=%d", e.PPN(), e.Lat(), lat)
+	}
+
+	// Apply must mutate the TLB exactly as a second modeled lookup would:
+	// run the modeled lookup on a twin structure and compare counters.
+	twin, _, _ := newTLB(t)
+	twin.LookupEntry(tlb.Lookup{VPN: 0x42, PCID: 3, PID: 7})
+	x.Apply(e)
+	if tb.Stats() != twin.Stats() {
+		t.Fatalf("replayed hit diverged from modeled hit:\n  replay: %+v\n  model:  %+v", tb.Stats(), twin.Stats())
+	}
+
+	s := x.Stats()
+	if s.Fills != 1 || s.Hits != 1 || s.Misses != 1 {
+		t.Fatalf("stats = %+v, want fills=1 hits=1 misses=1", s)
+	}
+}
+
+// TestKeyDiscrimination: any key-field difference must miss — a cached
+// result is only valid for the exact (VPN, PID, PCID, CCID, kind, write)
+// it was filled for.
+func TestKeyDiscrimination(t *testing.T) {
+	tb, hit, lat := newTLB(t)
+	x := xcache.New(xcache.Config{Entries: 64})
+	fill(x, tb, hit, lat)
+
+	probes := []struct {
+		name  string
+		vpn   memdefs.VPN
+		pid   memdefs.PID
+		pcid  memdefs.PCID
+		ccid  memdefs.CCID
+		kind  memdefs.AccessKind
+		write bool
+	}{
+		{"vpn", 0x43, 7, 3, 0, memdefs.AccessData, false},
+		{"pid", 0x42, 8, 3, 0, memdefs.AccessData, false},
+		{"pcid", 0x42, 7, 4, 0, memdefs.AccessData, false},
+		{"ccid", 0x42, 7, 3, 1, memdefs.AccessData, false},
+		{"kind", 0x42, 7, 3, 0, memdefs.AccessInstr, false},
+		{"write", 0x42, 7, 3, 0, memdefs.AccessData, true},
+	}
+	for _, p := range probes {
+		if e, _ := x.Probe(p.vpn, p.pid, p.pcid, p.ccid, p.kind, p.write); e != nil {
+			t.Errorf("probe with different %s hit the cache", p.name)
+		}
+	}
+	if e, _ := x.Probe(0x42, 7, 3, 0, memdefs.AccessData, false); e == nil {
+		t.Fatal("exact-key probe missed")
+	}
+}
+
+// TestGenerationInvalidation: any content change in the probed set — here
+// an invalidation — must make the cached entry stale.
+func TestGenerationInvalidation(t *testing.T) {
+	tb, hit, lat := newTLB(t)
+	x := xcache.New(xcache.Config{Entries: 64})
+	fill(x, tb, hit, lat)
+
+	if n := tb.InvalidateVPN(0x42); n != 1 {
+		t.Fatalf("InvalidateVPN removed %d entries, want 1", n)
+	}
+	if e, _ := x.Probe(0x42, 7, 3, 0, memdefs.AccessData, false); e != nil {
+		t.Fatal("probe served a result whose TLB set changed")
+	}
+	if s := x.Stats(); s.Stale != 1 {
+		t.Fatalf("stats = %+v, want stale=1", s)
+	}
+	// Staleness also invalidates the slot: the next probe is a plain miss.
+	if e, _ := x.Probe(0x42, 7, 3, 0, memdefs.AccessData, false); e != nil {
+		t.Fatal("stale entry served after rejection")
+	}
+	if s := x.Stats(); s.Stale != 1 {
+		t.Fatalf("stale counted twice: %+v", s)
+	}
+}
+
+func TestFlushAll(t *testing.T) {
+	tb, hit, lat := newTLB(t)
+	x := xcache.New(xcache.Config{Entries: 64})
+	fill(x, tb, hit, lat)
+	x.FlushAll()
+	if e, _ := x.Probe(0x42, 7, 3, 0, memdefs.AccessData, false); e != nil {
+		t.Fatal("probe hit after FlushAll")
+	}
+}
+
+// TestAuditSampling: every AuditEvery-th hit asks the caller to run the
+// modeled lookup; a matching AuditResult leaves the entry live, a
+// diverging one latches the mismatch and kills the entry.
+func TestAuditSampling(t *testing.T) {
+	tb, hit, lat := newTLB(t)
+	x := xcache.New(xcache.Config{Entries: 64, AuditEvery: 2})
+	fill(x, tb, hit, lat)
+
+	audits := 0
+	for i := 0; i < 6; i++ {
+		e, audit := x.Probe(0x42, 7, 3, 0, memdefs.AccessData, false)
+		if e == nil {
+			t.Fatalf("probe %d missed", i)
+		}
+		if audit {
+			audits++
+			x.AuditResult(e, tlb.Hit, hit, lat, memdefs.Page4K, 0x99)
+		} else {
+			x.Apply(e)
+		}
+	}
+	if audits != 3 {
+		t.Fatalf("audited %d of 6 hits, want every 2nd (3)", audits)
+	}
+	if s := x.Stats(); s.Audits != 3 || s.AuditMismatches != 0 || x.Mismatch() != "" {
+		t.Fatalf("clean audits misreported: %+v, mismatch=%q", s, x.Mismatch())
+	}
+
+	// Diverging model outcome: latched, entry never served again.
+	e, _ := x.Probe(0x42, 7, 3, 0, memdefs.AccessData, false)
+	x.AuditResult(e, tlb.Hit, hit, lat, memdefs.Page4K, 0xBAD)
+	if x.Mismatch() == "" {
+		t.Fatal("audit divergence not latched")
+	}
+	if s := x.Stats(); s.AuditMismatches != 1 {
+		t.Fatalf("stats = %+v, want auditMismatches=1", s)
+	}
+	if e, _ := x.Probe(0x42, 7, 3, 0, memdefs.AccessData, false); e != nil {
+		t.Fatal("entry served again after a failed audit")
+	}
+}

@@ -2,17 +2,19 @@
 # bench.sh — the per-PR bench runner: measures the translation hot path
 # and the fleet control loop (go test -bench) and the full quick-scale
 # experiment suite serial vs parallel, verifies the parallel run is
-# byte-identical, and emits a machine-readable BENCH_<n>.json extending
-# the perf trajectory. The previous PR's BENCH_<n-1>.json is required —
-# it is embedded as the before_this_pr baseline so regressions are
-# visible in one file; a missing or malformed baseline aborts the run
-# rather than silently emitting a trajectory with a hole in it.
+# byte-identical, verifies the translation-result cache and core-sharded
+# stepping are output-transparent, and emits a machine-readable
+# BENCH_<n>.json extending the perf trajectory. The previous PR's
+# BENCH_<n-1>.json is required — it is embedded as the before_this_pr
+# baseline so regressions are visible in one file; a missing or
+# malformed baseline aborts the run rather than silently emitting a
+# trajectory with a hole in it.
 #
 # Usage: scripts/bench.sh [output.json]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_6.json}
+out=${1:-BENCH_7.json}
 pr=$(basename "$out" .json | sed 's/^BENCH_//')
 prev="BENCH_$((pr - 1)).json"
 tmp=$(mktemp -d)
@@ -39,13 +41,27 @@ if echo "$before" | grep -Evq '^\s*"[^"]+": [0-9]+(\.[0-9]+)?,?\s*$'; then
 fi
 before_note="measured at the pre-PR tree ($prev), same benchmarks"
 
+# run_bench PKG PATTERN OUT — one go test -bench invocation. A compile
+# error, panic, or failed benchmark aborts the whole run with an explicit
+# message instead of flowing a partial bench log into ns_of (which would
+# either die on a missing line or, worse, emit a truncated BENCH json).
+run_bench() {
+    local pkg=$1 pattern=$2 outfile=$3
+    if ! go test -run '^$' -bench "$pattern" -benchtime 1s "$pkg" \
+        > "$outfile" 2> "$tmp/bench_err.txt"; then
+        echo "bench.sh: FAIL: 'go test -bench $pattern $pkg' exited non-zero." >&2
+        echo "bench.sh: no BENCH json was written; fix the benchmark and re-run." >&2
+        echo "--- benchmark output ---" >&2
+        cat "$outfile" "$tmp/bench_err.txt" >&2
+        exit 1
+    fi
+    cat "$outfile"
+}
+
 echo "== micro-benchmarks (internal/sim + facade + fleet) =="
-go test -run '^$' -bench 'BenchmarkTranslate$|BenchmarkMachineRun' \
-    -benchtime 1s ./internal/sim/ | tee "$tmp/bench_sim.txt"
-go test -run '^$' -bench 'BenchmarkTLBLookup$|BenchmarkTranslateWalk$' \
-    -benchtime 1s . | tee "$tmp/bench_root.txt"
-go test -run '^$' -bench 'BenchmarkFleetEpoch$' \
-    -benchtime 1s ./internal/fleet/ | tee "$tmp/bench_fleet.txt"
+run_bench ./internal/sim/ 'BenchmarkTranslate$|BenchmarkMachineRun' "$tmp/bench_sim.txt"
+run_bench . 'BenchmarkTLBLookup$|BenchmarkTranslateWalk$' "$tmp/bench_root.txt"
+run_bench ./internal/fleet/ 'BenchmarkFleetEpoch$' "$tmp/bench_fleet.txt"
 
 # ns_of NAME FILE — ns/op of one benchmark line ("Name-8  N  12.3 ns/op");
 # fails loudly when the benchmark did not produce a number.
@@ -61,15 +77,43 @@ ns_of() {
 ns_translate=$(ns_of BenchmarkTranslate "$tmp/bench_sim.txt")
 ns_run_base=$(ns_of 'BenchmarkMachineRun/Baseline' "$tmp/bench_sim.txt")
 ns_run_bf=$(ns_of 'BenchmarkMachineRun/BabelFish' "$tmp/bench_sim.txt")
+ns_run_noxc=$(ns_of 'BenchmarkMachineRun/BabelFishXCacheOff' "$tmp/bench_sim.txt")
+ns_run_wide=$(ns_of 'BenchmarkMachineRun/BabelFishWide' "$tmp/bench_sim.txt")
+ns_run_shard=$(ns_of 'BenchmarkMachineRun/BabelFishSharded' "$tmp/bench_sim.txt")
 ns_tlb=$(ns_of BenchmarkTLBLookup "$tmp/bench_root.txt")
 ns_walk=$(ns_of BenchmarkTranslateWalk "$tmp/bench_root.txt")
 ns_fleet=$(ns_of BenchmarkFleetEpoch "$tmp/bench_fleet.txt")
+
+# instr_of NAME FILE — the instrs/op metric of one MachineRun line. The
+# classic and sharded schedules simulate different instruction mixes per
+# op, so speedups are compared per simulated instruction, not per op.
+instr_of() {
+    local n
+    n=$(awk -v name="$1" '$1 ~ "^"name"(-[0-9]+)?$" { print $5; exit }' "$2")
+    if [ -z "$n" ]; then
+        echo "bench.sh: benchmark $1 produced no instrs/op metric in $2" >&2
+        exit 1
+    fi
+    echo "$n"
+}
+instr_bf=$(instr_of 'BenchmarkMachineRun/BabelFish' "$tmp/bench_sim.txt")
+instr_noxc=$(instr_of 'BenchmarkMachineRun/BabelFishXCacheOff' "$tmp/bench_sim.txt")
+instr_wide=$(instr_of 'BenchmarkMachineRun/BabelFishWide' "$tmp/bench_sim.txt")
+instr_shard=$(instr_of 'BenchmarkMachineRun/BabelFishSharded' "$tmp/bench_sim.txt")
+
+xcache_machine_speedup=$(awk -v offns="$ns_run_noxc" -v offi="$instr_noxc" \
+    -v onns="$ns_run_bf" -v oni="$instr_bf" \
+    'BEGIN { printf "%.3f", (offns/offi)/(onns/oni) }')
+shard_machine_speedup=$(awk -v cns="$ns_run_wide" -v ci="$instr_wide" \
+    -v sns="$ns_run_shard" -v si="$instr_shard" \
+    'BEGIN { printf "%.3f", (cns/ci)/(sns/si) }')
 
 echo "== experiment suite wall-clock: jobs=1 vs jobs=4 =="
 go build -o "$tmp/bfbench" ./cmd/bfbench
 
 t0=$(date +%s%N)
-"$tmp/bfbench" -quick -format json -jobs 1 > "$tmp/serial.json"
+"$tmp/bfbench" -quick -format json -jobs 1 -xcache-stats > "$tmp/serial.json" \
+    2> "$tmp/xcache_stats.txt"
 t1=$(date +%s%N)
 "$tmp/bfbench" -quick -format json -jobs 4 > "$tmp/par.json"
 t2=$(date +%s%N)
@@ -84,6 +128,41 @@ if ! cmp -s "$tmp/serial.json" "$tmp/par.json"; then
     echo "FAIL: serial and jobs=4 suite output diverge" >&2
 fi
 echo "serial ${serial_s}s, jobs=4 ${par_s}s (speedup ${speedup}x), identical=$identical"
+
+echo "== xcache transparency: suite -xcache=off vs on, plus hit rate =="
+"$tmp/bfbench" -quick -format json -jobs 1 -xcache=off > "$tmp/noxcache.json"
+xcache_identical=true
+if ! cmp -s "$tmp/serial.json" "$tmp/noxcache.json"; then
+    xcache_identical=false
+    echo "FAIL: suite output diverges between -xcache=on and -xcache=off" >&2
+fi
+# The stats line rode on stderr of the serial run above:
+# "bfbench: xcache hits=N misses=N hit_rate=0.NNNN stale=N fills=N ..."
+xstats=$(grep '^bfbench: xcache ' "$tmp/xcache_stats.txt" || true)
+if [ -z "$xstats" ]; then
+    echo "bench.sh: bfbench -xcache-stats printed no stats line" >&2
+    exit 1
+fi
+xcache_hits=$(echo "$xstats" | sed -n 's/.*hits=\([0-9]*\).*/\1/p')
+xcache_misses=$(echo "$xstats" | sed -n 's/.* misses=\([0-9]*\).*/\1/p')
+xcache_hit_rate=$(echo "$xstats" | sed -n 's/.*hit_rate=\([0-9.]*\).*/\1/p')
+echo "$xstats (suite identical off vs on: $xcache_identical)"
+
+echo "== core-sharded stepping: suite -core-shards=1 vs 4 =="
+t3=$(date +%s%N)
+"$tmp/bfbench" -quick -format json -jobs 1 -core-shards 1 > "$tmp/shards1.json"
+t4=$(date +%s%N)
+"$tmp/bfbench" -quick -format json -jobs 1 -core-shards 4 > "$tmp/shards4.json"
+t5=$(date +%s%N)
+shards1_s=$(awk -v a="$t3" -v b="$t4" 'BEGIN { printf "%.3f", (b-a)/1e9 }')
+shards4_s=$(awk -v a="$t4" -v b="$t5" 'BEGIN { printf "%.3f", (b-a)/1e9 }')
+shard_suite_speedup=$(awk -v s="$shards1_s" -v p="$shards4_s" 'BEGIN { printf "%.2f", s/p }')
+shards_identical=true
+if ! cmp -s "$tmp/shards1.json" "$tmp/shards4.json"; then
+    shards_identical=false
+    echo "FAIL: suite output diverges between -core-shards=1 and -core-shards=4" >&2
+fi
+echo "shards=1 ${shards1_s}s, shards=4 ${shards4_s}s (speedup ${shard_suite_speedup}x), identical=$shards_identical"
 
 echo "== fleet chaos replay: seeded node kills, jobs=1 vs jobs=4 =="
 go build -o "$tmp/bffleet" ./cmd/bffleet
@@ -122,6 +201,22 @@ cat > "$out" <<EOF
     "output_identical": $identical,
     "note": "cells are independent machines, so the jobs=4 speedup scales with host CPUs; this run used a ${ncpu}-CPU host"
   },
+  "xcache": {
+    "suite_hits": $xcache_hits,
+    "suite_misses": $xcache_misses,
+    "suite_hit_rate": $xcache_hit_rate,
+    "suite_output_identical_off_vs_on": $xcache_identical,
+    "machine_run_speedup": $xcache_machine_speedup,
+    "note": "machine_run_speedup = per-simulated-instruction time of MachineRun/BabelFishXCacheOff over MachineRun/BabelFish; replaying a cached hit repeats the modeled hit's stats/LRU bookkeeping to stay byte-identical, so the host-time win is small and can vanish into this host's noise band"
+  },
+  "sharding": {
+    "suite_shards1_seconds": $shards1_s,
+    "suite_shards4_seconds": $shards4_s,
+    "suite_speedup": $shard_suite_speedup,
+    "suite_output_identical_1_vs_4": $shards_identical,
+    "machine_run_speedup": $shard_machine_speedup,
+    "note": "machine_run_speedup = per-simulated-instruction time of MachineRun/BabelFishWide (4 cores, classic) over MachineRun/BabelFishSharded (4 cores, -core-shards=4); sharded stepping is byte-identical across widths >= 1 (a deterministic schedule distinct from classic 0); speedups are bounded by host CPUs — this run used a ${ncpu}-CPU host"
+  },
   "fleet": {
     "command": "bffleet ${fleet_flags[*]}",
     "replay_identical": $fleet_identical
@@ -130,6 +225,9 @@ cat > "$out" <<EOF
     "BenchmarkTranslate": $ns_translate,
     "BenchmarkMachineRun/Baseline": $ns_run_base,
     "BenchmarkMachineRun/BabelFish": $ns_run_bf,
+    "BenchmarkMachineRun/BabelFishXCacheOff": $ns_run_noxc,
+    "BenchmarkMachineRun/BabelFishWide": $ns_run_wide,
+    "BenchmarkMachineRun/BabelFishSharded": $ns_run_shard,
     "BenchmarkTLBLookup": $ns_tlb,
     "BenchmarkTranslateWalk": $ns_walk,
     "BenchmarkFleetEpoch": $ns_fleet
@@ -141,4 +239,5 @@ $before
 }
 EOF
 echo "wrote $out"
-[ "$identical" = true ] && [ "$fleet_identical" = true ]
+[ "$identical" = true ] && [ "$fleet_identical" = true ] && \
+    [ "$xcache_identical" = true ] && [ "$shards_identical" = true ]
