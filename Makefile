@@ -11,10 +11,10 @@ test:
 # The parallel engine's safety proof: machines share no mutable state —
 # neither across experiment cells nor across fleet nodes.
 race:
-	$(GO) test -race ./internal/experiments/... ./internal/sim/... ./internal/fleet/... ./internal/par/...
+	$(GO) test -race ./internal/experiments/... ./internal/sim/... ./internal/fleet/... ./internal/par/... ./internal/xlatpolicy/...
 
-# Regenerate BENCH_5.json: hot-path and fleet-epoch ns/op plus suite
+# Regenerate BENCH_8.json: hot-path and fleet-epoch ns/op plus suite
 # wall-clock serial vs jobs=4, failing if the parallel output is not
-# byte-identical or the previous BENCH_4.json baseline is missing.
+# byte-identical or the previous BENCH_7.json baseline is missing.
 bench:
-	./scripts/bench.sh BENCH_5.json
+	./scripts/bench.sh BENCH_8.json

@@ -37,9 +37,12 @@ import (
 	"babelfish/internal/memdefs"
 	"babelfish/internal/sim"
 	"babelfish/internal/workloads"
+	"babelfish/internal/xlatpolicy"
 )
 
-// Arch selects the simulated architecture.
+// Arch selects the simulated architecture. The full registered set —
+// including the Victima and coalesced-TLB comparison points — is also
+// reachable by name through NewMachineArch and ArchNames.
 type Arch int
 
 const (
@@ -53,7 +56,61 @@ const (
 	// configuration (one layout per container group; the L1 TLB may also
 	// share entries).
 	ArchBabelFishSW
+	// ArchVictima parks TLB-miss PTEs in repurposed L2 cache lines
+	// (Kanellopoulos et al., MICRO 2023) over a baseline kernel.
+	ArchVictima
+	// ArchCoalesced caches contiguous VPN→PPN runs as single TLB-side
+	// entries (CoLT-style coalescing) over a baseline kernel.
+	ArchCoalesced
+	// ArchBabelFishVictima combines BabelFish sharing with CCID-tagged
+	// parked PTEs.
+	ArchBabelFishVictima
+	// ArchBabelFishCoalesced combines BabelFish sharing with coalesced
+	// runs of shared clean pages.
+	ArchBabelFishCoalesced
 )
+
+// policyName maps the enum onto the xlatpolicy registry key.
+func (a Arch) policyName() string {
+	switch a {
+	case ArchBaseline:
+		return "baseline"
+	case ArchBabelFish, ArchBabelFishSW:
+		return "babelfish"
+	case ArchVictima:
+		return "victima"
+	case ArchCoalesced:
+		return "coalesced"
+	case ArchBabelFishVictima:
+		return "babelfish+victima"
+	case ArchBabelFishCoalesced:
+		return "babelfish+coalesced"
+	}
+	panic(fmt.Sprintf("babelfish: unknown Arch(%d)", int(a)))
+}
+
+// String returns the architecture's registry name; the software-ASLR
+// variant is distinguished as "babelfish-sw".
+func (a Arch) String() string {
+	if a == ArchBabelFishSW {
+		return "babelfish-sw"
+	}
+	return a.policyName()
+}
+
+// ArchNames returns the registered architecture names in registration
+// order — the accepted NewMachineArch (and CLI -arch) values.
+func ArchNames() []string { return xlatpolicy.Names() }
+
+// ArchUsage renders the accepted -arch values for CLI usage strings,
+// with any extra conventions ("both") appended.
+func ArchUsage(extra ...string) string { return xlatpolicy.UsageList(extra...) }
+
+// ValidArch reports whether name is a registered architecture.
+func ValidArch(name string) bool {
+	_, ok := xlatpolicy.Get(name)
+	return ok
+}
 
 // Options configures a machine.
 type Options struct {
@@ -86,11 +143,24 @@ type Machine struct {
 
 // NewMachine builds a machine for the selected architecture.
 func NewMachine(o Options) *Machine {
-	mode := kernel.ModeBaseline
-	if o.Arch != ArchBaseline {
-		mode = kernel.ModeBabelFish
+	m, err := NewMachineArch(o.Arch.policyName(), o)
+	if err != nil {
+		// Enum values always resolve; an error here is a registry bug.
+		panic(err)
 	}
-	p := sim.DefaultParams(mode)
+	return m
+}
+
+// NewMachineArch builds a machine for a named registered architecture
+// (see ArchNames); the name takes precedence over o.Arch, except that
+// ArchBabelFishSW still selects the software-ASLR kernel configuration.
+// Unknown names and configurations the machine cannot honour (an xcache
+// under a non-replayable policy) return an error.
+func NewMachineArch(name string, o Options) (*Machine, error) {
+	p, err := sim.ParamsForArch(name)
+	if err != nil {
+		return nil, err
+	}
 	if o.Arch == ArchBabelFishSW {
 		p.Kernel.ASLR = kernel.ASLRSW
 		p.MMU.ASLRHW = false
@@ -114,7 +184,10 @@ func NewMachine(o Options) *Machine {
 	if o.CoreShards > 0 {
 		p.CoreShards = o.CoreShards
 	}
-	return &Machine{Machine: sim.New(p)}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Machine{Machine: sim.New(p)}, nil
 }
 
 // App identifies one of the paper's workloads.

@@ -3,9 +3,15 @@
 //
 // Usage:
 //
-//	bfbench [-exp all|tableI|fig9|fig10a|fig10b|fig11|tableII|tableIII|largertlb|bringup|resources]
-//	        [-cores N] [-scale F] [-warm N] [-measure N] [-seed N] [-quick]
+//	bfbench [-exp all|tableI|fig9|fig10a|fig10b|fig11|tableII|tableIII|largertlb|bringup|resources|archcompare]
+//	        [-arch NAME,NAME,...] [-cores N] [-scale F] [-warm N] [-measure N] [-seed N] [-quick]
 //	        [-trace-out FILE] [-flight-depth N]
+//
+// -exp archcompare runs the architecture head-to-head sweep: every
+// workload measured under each requested translation policy (-arch, a
+// comma-separated list of registered architecture names; empty sweeps
+// them all). It is opt-in only — never part of -exp all or the
+// json/markdown suite, whose output is pinned by the identity CI job.
 //
 // Each experiment prints rows shaped like the paper's; the headers quote
 // the paper's numbers for comparison.
@@ -27,11 +33,13 @@ import (
 
 	"babelfish/internal/experiments"
 	"babelfish/internal/obs"
+	"babelfish/internal/xlatpolicy"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (all, tableI, fig9, fig10a, fig10b, fig11, tableII, tableIII, largertlb, bringup, resources, sweeps, fig7)")
+		exp     = flag.String("exp", "all", "experiment id (all, tableI, fig9, fig10a, fig10b, fig11, tableII, tableIII, largertlb, bringup, resources, sweeps, fig7, archcompare)")
+		archs   = flag.String("arch", "", "architectures for -exp archcompare, comma-separated from "+xlatpolicy.UsageList()+" (empty = all registered)")
 		cores   = flag.Int("cores", 0, "number of cores (0 = default 8)")
 		scale   = flag.Float64("scale", 0, "dataset scale factor (0 = default 1.0)")
 		warm    = flag.Uint64("warm", 0, "warm-up instructions per core (0 = default)")
@@ -77,7 +85,20 @@ func main() {
 		if f.Name == "flight-depth" && *traceOut == "" {
 			usageErr("-flight-depth has no effect without -trace-out")
 		}
+		if f.Name == "arch" && strings.ToLower(*exp) != "archcompare" {
+			usageErr("-arch only applies to -exp archcompare")
+		}
 	})
+	var archList []string
+	if *archs != "" {
+		for _, name := range strings.Split(*archs, ",") {
+			name = strings.TrimSpace(name)
+			if _, ok := xlatpolicy.Get(name); !ok {
+				usageErr("unknown arch %q (want %s)", name, xlatpolicy.UsageList())
+			}
+			archList = append(archList, name)
+		}
+	}
 
 	o := experiments.Default()
 	if *quick {
@@ -157,7 +178,7 @@ func main() {
 		printXCacheStats()
 		return
 	}
-	if err := run(strings.ToLower(*exp), o); err != nil {
+	if err := run(strings.ToLower(*exp), o, archList); err != nil {
 		fmt.Fprintln(os.Stderr, "bfbench:", err)
 		os.Exit(1)
 	}
@@ -173,8 +194,20 @@ func usageErr(format string, args ...any) {
 	os.Exit(2)
 }
 
-func run(exp string, o experiments.Options) error {
+func run(exp string, o experiments.Options, archList []string) error {
 	want := func(name string) bool { return exp == "all" || exp == name }
+
+	// The head-to-head sweep is opt-in only: it is not part of "all" (or
+	// the json/markdown suite), whose output is pinned by the identity CI
+	// job.
+	if exp == "archcompare" {
+		r, err := experiments.ArchCompare(o, archList)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
+		return nil
+	}
 
 	if want("tablei") || want("tableI") {
 		fmt.Println(experiments.TableI(o))

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	bffleet [-nodes N] [-cores N] [-mem-mb N] [-app mongodb|arangodb|httpd|graphchi|fio]
-//	        [-arch baseline|babelfish|both] [-scale F] [-containers N]
+//	        [-arch NAME|both] [-scale F] [-containers N]
 //	        [-epochs N] [-epoch-instr N] [-seed N]
 //	        [-kill-nth N] [-kill-prob P] [-kill-seed N] [-kill-after N] [-kill-max N]
 //	        [-part-nth N] [-part-prob P] [-part-seed N] [-part-after N] [-part-max N]
@@ -68,13 +68,13 @@ import (
 	"path/filepath"
 
 	"babelfish/internal/fleet"
-	"babelfish/internal/kernel"
 	"babelfish/internal/memsys"
 	"babelfish/internal/metrics"
 	"babelfish/internal/obs"
 	"babelfish/internal/sim"
 	"babelfish/internal/telemetry"
 	"babelfish/internal/workloads"
+	"babelfish/internal/xlatpolicy"
 )
 
 func main() { os.Exit(run()) }
@@ -85,7 +85,7 @@ func run() int {
 		cores      = flag.Int("cores", 2, "cores per node")
 		memMB      = flag.Uint64("mem-mb", 256, "physical memory per node, MB")
 		app        = flag.String("app", "mongodb", "workload: mongodb, arangodb, httpd, graphchi, fio")
-		arch       = flag.String("arch", "both", "architecture: baseline, babelfish, both")
+		arch       = flag.String("arch", "both", "architecture: "+xlatpolicy.UsageList("both"))
 		scale      = flag.Float64("scale", 0.25, "dataset scale factor")
 		containers = flag.Int("containers", 24, "containers the fleet must keep running")
 		epochs     = flag.Int("epochs", 24, "control-loop epochs")
@@ -141,18 +141,17 @@ func run() int {
 		usageErr("unknown app %q (want mongodb, arangodb, httpd, graphchi or fio)", *app)
 	}
 
-	var modes []kernel.Mode
+	// -arch values come from the xlatpolicy registry; "both" keeps its
+	// historical meaning of the paper's head-to-head pair.
 	var names []string
-	switch *arch {
-	case "baseline":
-		modes, names = []kernel.Mode{kernel.ModeBaseline}, []string{"baseline"}
-	case "babelfish":
-		modes, names = []kernel.Mode{kernel.ModeBabelFish}, []string{"babelfish"}
-	case "both":
-		modes = []kernel.Mode{kernel.ModeBaseline, kernel.ModeBabelFish}
+	switch {
+	case *arch == "both":
 		names = []string{"baseline", "babelfish"}
 	default:
-		usageErr("unknown arch %q (want baseline, babelfish or both)", *arch)
+		if _, ok := xlatpolicy.Get(*arch); !ok {
+			usageErr("unknown arch %q (want %s)", *arch, xlatpolicy.UsageList("both"))
+		}
+		names = []string{*arch}
 	}
 
 	// Flag consistency: catch nonsense before spending minutes simulating.
@@ -195,8 +194,8 @@ func run() int {
 		}
 	}
 	if *seriesOut != "" {
-		if len(modes) > 1 {
-			usageErr("-series-out needs a single architecture (pick -arch baseline or -arch babelfish)")
+		if len(names) > 1 {
+			usageErr("-series-out needs a single architecture (pick one -arch value, not both)")
 		}
 		if *seriesEvery < 1 {
 			usageErr("-series-every must be at least 1")
@@ -230,13 +229,19 @@ func run() int {
 		}
 	})
 
-	buildConfig := func(mode kernel.Mode) fleet.Config {
-		p := sim.DefaultParams(mode)
+	buildConfig := func(name string) fleet.Config {
+		p, err := sim.ParamsForArch(name)
+		if err != nil {
+			panic(err) // names are validated at flag parsing
+		}
 		p.Cores = *cores
 		p.MemBytes = *memMB << 20
 		p.XCache = *xcacheMode != "off"
 		p.XCacheAudit = *xcacheAudit
 		p.CoreShards = *coreShards
+		if err := p.Validate(); err != nil {
+			usageErr("%v", err)
+		}
 		cfg := fleet.DefaultConfig(p, mkSpec())
 		cfg.Nodes = *nodes
 		cfg.Scale = *scale
@@ -267,7 +272,7 @@ func run() int {
 	}
 	// Validate once up front so a config mistake is a usage error, not a
 	// mid-run failure.
-	if err := buildConfig(modes[0]).Validate(); err != nil {
+	if err := buildConfig(names[0]).Validate(); err != nil {
 		usageErr("%v", err)
 	}
 
@@ -277,9 +282,9 @@ func run() int {
 		"arch", "density", "p50Lat", "p99Lat", "placements", "sheds", "refusals", "lost")
 	auditFailed := false
 	var traceStreams []obs.Stream
-	for i, mode := range modes {
-		cfg := buildConfig(mode)
-		if *flightDir != "" && len(modes) > 1 {
+	for i, name := range names {
+		cfg := buildConfig(name)
+		if *flightDir != "" && len(names) > 1 {
 			// Side-by-side runs get per-architecture bundle directories so
 			// their deterministic labels (epoch + trigger) never collide.
 			cfg.Obs.FlightDir = filepath.Join(*flightDir, names[i])
@@ -315,7 +320,7 @@ func run() int {
 		}
 		if *traceOut != "" {
 			ss := c.ObsStreams()
-			if len(modes) > 1 {
+			if len(names) > 1 {
 				for j := range ss {
 					ss[j].Name = names[i] + "/" + ss[j].Name
 				}
@@ -352,7 +357,7 @@ func run() int {
 		reqLat, _ := c.Registry().Hist("fleet.req_latency")
 		t.Row(names[i], c.Density(), reqLat.Quantile(0.50), reqLat.Quantile(0.99),
 			val("fleet.placements"), val("fleet.sheds"), val("fleet.place_fails"), val("fleet.lost"))
-		if i < len(modes)-1 {
+		if i < len(names)-1 {
 			fmt.Println()
 		}
 	}

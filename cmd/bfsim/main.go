@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	bfsim [-app mongodb|arangodb|httpd|graphchi|fio] [-arch baseline|babelfish|both]
+//	bfsim [-app mongodb|arangodb|httpd|graphchi|fio] [-arch NAME|both]
 //	      [-cores N] [-containers N] [-scale F] [-warm N] [-measure N] [-seed N]
 //	      [-audit] [-failnth N] [-failseed N] [-jobs N] [-cpuprofile FILE]
 //	      [-xcache on|off] [-xcache-audit N] [-core-shards N]
@@ -109,7 +109,7 @@ type archResult struct {
 func run() int {
 	var (
 		app         = flag.String("app", "mongodb", "workload: mongodb, arangodb, httpd, graphchi, fio")
-		arch        = flag.String("arch", "both", "architecture: baseline, babelfish, both")
+		arch        = flag.String("arch", "both", "architecture: "+babelfish.ArchUsage("both"))
 		cores       = flag.Int("cores", 2, "number of cores")
 		containers  = flag.Int("containers", 2, "containers per core")
 		scale       = flag.Float64("scale", 0.5, "dataset scale factor")
@@ -152,16 +152,16 @@ func run() int {
 		usageErr("unknown app %q (want mongodb, arangodb, httpd, graphchi or fio)", *app)
 	}
 
-	var archs []babelfish.Arch
-	switch *arch {
-	case "baseline":
-		archs = []babelfish.Arch{babelfish.ArchBaseline}
-	case "babelfish":
-		archs = []babelfish.Arch{babelfish.ArchBabelFish}
-	case "both":
-		archs = []babelfish.Arch{babelfish.ArchBaseline, babelfish.ArchBabelFish}
+	// -arch values come from the xlatpolicy registry; "both" keeps its
+	// historical meaning of the paper's head-to-head pair.
+	var archs []string
+	switch {
+	case *arch == "both":
+		archs = []string{"baseline", "babelfish"}
+	case babelfish.ValidArch(*arch):
+		archs = []string{*arch}
 	default:
-		usageErr("unknown arch %q (want baseline, babelfish or both)", *arch)
+		usageErr("unknown arch %q (want %s)", *arch, babelfish.ArchUsage("both"))
 	}
 
 	// Flag consistency: catch silently-ignored or nonsensical combinations
@@ -195,7 +195,7 @@ func run() int {
 			usageErr("-series-out requires -sample-every (it streams the sampled series)")
 		}
 		if len(archs) > 1 {
-			usageErr("-series-out needs a single architecture (pick -arch baseline or -arch babelfish)")
+			usageErr("-series-out needs a single architecture (pick one -arch value, not both)")
 		}
 	}
 	if *flightDepth < 0 {
@@ -278,18 +278,18 @@ func run() int {
 	}
 
 	obsOn := *traceOut != "" || *flightDir != ""
-	runArch := func(res *archResult, idx int, ar babelfish.Arch) {
-		name := "baseline"
-		if ar == babelfish.ArchBabelFish {
-			name = "babelfish"
-		}
+	runArch := func(res *archResult, idx int, name string) {
 		res.name = name
-		m := babelfish.NewMachine(babelfish.Options{
-			Arch: ar, Cores: *cores,
+		m, err := babelfish.NewMachineArch(name, babelfish.Options{
+			Cores:         *cores,
 			DisableXCache: *xcacheMode == "off",
 			XCacheAudit:   *xcacheAudit,
 			CoreShards:    *coreShards,
 		})
+		if err != nil {
+			res.err = err
+			return
+		}
 		if *traceN > 0 {
 			m.EnableTracing(*traceN)
 		}

@@ -17,6 +17,7 @@ import (
 	"babelfish/internal/memdefs"
 	"babelfish/internal/sim"
 	"babelfish/internal/workloads"
+	"babelfish/internal/xlatpolicy"
 )
 
 // Options scales the experiments. Defaults reproduce the paper's setup
@@ -126,11 +127,29 @@ func (o Options) Params(a Arch) sim.Params {
 	case BabelFish:
 		p = sim.DefaultParams(kernel.ModeBabelFish)
 	case BabelFishPT:
+		// Conventional TLBs over shared tables: the baseline translation
+		// policy on a BabelFish kernel, the Table II attribution ablation.
 		p = sim.DefaultParams(kernel.ModeBabelFish)
-		p.MMU.BabelFish = false // conventional TLBs over shared tables
+		p.MMU.Policy = xlatpolicy.MustGet("baseline").Policy
+		p.MMU.BabelFish = false
 		p.MMU.ASLRHW = false
 		p.Kernel.ASLR = kernel.ASLRSW // one layout per group; no transform
 	}
+	return o.apply(p)
+}
+
+// ParamsForArch builds sim parameters for a named registered architecture
+// (the xlatpolicy registry set), applying the options' machine scaling.
+func (o Options) ParamsForArch(name string) (sim.Params, error) {
+	p, err := sim.ParamsForArch(name)
+	if err != nil {
+		return sim.Params{}, err
+	}
+	return o.apply(p), nil
+}
+
+// apply overlays the options' machine scaling onto base params.
+func (o Options) apply(p sim.Params) sim.Params {
 	p.Cores = o.Cores
 	p.MemBytes = o.MemBytes
 	if o.Quantum > 0 {
@@ -158,7 +177,14 @@ func ComputeApps() []*workloads.AppSpec {
 // deployServing builds a machine for one app with two containers per core
 // (the paper's conservative co-location) and runs warm-up + measurement.
 func deployServing(o Options, a Arch, spec *workloads.AppSpec) (*sim.Machine, *workloads.Deployment, error) {
-	m := newMachine(o.Params(a))
+	return deployParams(o, o.Params(a), spec)
+}
+
+// deployParams is deployServing for pre-built machine parameters (the
+// architecture head-to-head sweep measures registry policies that have no
+// Arch enum value).
+func deployParams(o Options, p sim.Params, spec *workloads.AppSpec) (*sim.Machine, *workloads.Deployment, error) {
+	m := newMachine(p)
 	d, err := workloads.Deploy(m, spec, o.Scale, o.Seed)
 	if err != nil {
 		return nil, nil, err

@@ -24,6 +24,7 @@ import (
 	"babelfish/internal/telemetry"
 	"babelfish/internal/tlb"
 	"babelfish/internal/xcache"
+	"babelfish/internal/xlatpolicy"
 )
 
 // OS is the kernel-side fault handler the MMU invokes when translation
@@ -56,7 +57,15 @@ type Ctx struct {
 
 // Config selects the architecture variant.
 type Config struct {
+	// Policy is the translation architecture (see internal/xlatpolicy):
+	// it decides the TLB tag modes, whether walk fills populate the O-PC
+	// field, and any extra per-core lookup structures probed between the
+	// L2 TLB miss and the page walk. nil resolves from the legacy
+	// BabelFish boolean (baseline or babelfish).
+	Policy xlatpolicy.Policy
 	// BabelFish enables CCID-tagged sharing at the L2 TLB and O-PC logic.
+	// Normalized by New to mirror the resolved policy's OPC behaviour, so
+	// readers (audit, reports) may keep consulting it.
 	BabelFish bool
 	// ASLRHW models the hardware ASLR configuration: the L1 TLBs stay
 	// per-process and every L1 miss pays the address transform.
@@ -125,6 +134,17 @@ type MMU struct {
 	// poison mode mutates entries below the generation counters.
 	xc *xcache.XCache
 
+	// pol is the resolved translation policy; polCore its per-core
+	// extension state (nil when the policy adds no extra structures).
+	// opc/xform/l1Private are the policy decisions precomputed off the
+	// hot path: O-PC walk fills, the ASLR-HW transform charge, and
+	// private (strip-O-PC) L1 fills.
+	pol       xlatpolicy.Policy
+	polCore   xlatpolicy.Core
+	opc       bool
+	xform     bool
+	l1Private bool
+
 	stats Stats
 	// scratch receives resolution details for TranslateInto(nil) callers.
 	scratch Info
@@ -134,29 +154,46 @@ type MMU struct {
 // port is the memory port the page walker uses (a core's cache hierarchy
 // in the real machine).
 func New(cfg Config, mem *physmem.Memory, port memsys.Port, os OS) *MMU {
-	l1Mode, l2Mode := tlb.TagPCID, tlb.TagPCID
-	if cfg.BabelFish {
-		l2Mode = tlb.TagCCID
-		if !cfg.ASLRHW {
-			// ASLR-SW: group members share a layout, so even the L1 may
-			// share entries.
-			l1Mode = tlb.TagCCID
+	pol := cfg.Policy
+	if pol == nil {
+		if cfg.BabelFish {
+			pol = xlatpolicy.MustGet("babelfish").Policy
+		} else {
+			pol = xlatpolicy.MustGet("baseline").Policy
 		}
+		cfg.Policy = pol
 	}
+	// Normalize the legacy boolean to the policy's behaviour so readers
+	// (sim audit, fleet report) stay truthful under any policy.
+	cfg.BabelFish = pol.OPC()
+	l1Mode, l2Mode := pol.TagModes(cfg.ASLRHW)
 	if cfg.ASLRXformCycles == 0 {
 		cfg.ASLRXformCycles = 2
 	}
-	return &MMU{
-		cfg:  cfg,
-		L1D:  tlb.NewGroup(tlb.L1DConfig(l1Mode)),
-		L1I:  tlb.NewGroup(tlb.L1IConfig(l1Mode)),
-		L2:   tlb.NewGroup(tlb.L2Config(l2Mode, cfg.LargerL2 && !cfg.BabelFish)),
-		PWC:  pwc.New(pwc.DefaultConfig()),
-		Mem:  mem,
-		port: port,
-		OS:   os,
+	m := &MMU{
+		cfg:       cfg,
+		L1D:       tlb.NewGroup(tlb.L1DConfig(l1Mode)),
+		L1I:       tlb.NewGroup(tlb.L1IConfig(l1Mode)),
+		L2:        tlb.NewGroup(tlb.L2Config(l2Mode, cfg.LargerL2 && !pol.OPC())),
+		PWC:       pwc.New(pwc.DefaultConfig()),
+		Mem:       mem,
+		port:      port,
+		OS:        os,
+		pol:       pol,
+		opc:       pol.OPC(),
+		xform:     pol.OPC() && cfg.ASLRHW,
+		l1Private: pol.OPC() && cfg.ASLRHW,
 	}
+	m.polCore = pol.NewCore(xlatpolicy.CoreConfig{Mem: mem})
+	return m
 }
+
+// Policy returns the resolved translation policy.
+func (m *MMU) Policy() xlatpolicy.Policy { return m.pol }
+
+// PolicyCore returns the policy's per-core extension structure (nil for
+// policies without one — baseline, babelfish).
+func (m *MMU) PolicyCore() xlatpolicy.Core { return m.polCore }
 
 // Config returns the MMU's configuration.
 func (m *MMU) Config() Config { return m.cfg }
@@ -173,6 +210,9 @@ func (m *MMU) ResetStats() {
 	m.PWC.ResetStats()
 	if m.xc != nil {
 		m.xc.ResetStats()
+	}
+	if m.polCore != nil {
+		m.polCore.ResetStats()
 	}
 }
 
@@ -266,7 +306,7 @@ const maxRetries = 16
 
 // Info describes how one translation was resolved (for tracing/tests).
 type Info struct {
-	Level       string // "L1", "L2", "walk"
+	Level       string // "L1", "L2", "policy", "walk"
 	Faults      int
 	FaultCycles memdefs.Cycles // kernel cycles spent handling Faults
 	SharedL2    bool
@@ -394,9 +434,9 @@ func (m *MMU) TranslateInto(ctx *Ctx, va memdefs.VAddr, write bool, kind memdefs
 			// (group) address.
 			l1.InvalidateVA(va)
 			if ctx.SharedVA != nil {
-				m.L2.InvalidateVA(ctx.SharedVA(va))
+				m.l2InvalidateVA(ctx.SharedVA(va))
 			} else {
-				m.L2.InvalidateVA(va)
+				m.l2InvalidateVA(va)
 			}
 			fc, err := m.fault(ctx, va, write, kind, info)
 			cycles += fc
@@ -412,7 +452,7 @@ func (m *MMU) TranslateInto(ctx *Ctx, va memdefs.VAddr, write bool, kind memdefs
 		sva := va
 		if ctx.SharedVA != nil {
 			sva = ctx.SharedVA(va)
-			if m.cfg.BabelFish && m.cfg.ASLRHW {
+			if m.xform {
 				cycles += m.cfg.ASLRXformCycles
 			}
 		}
@@ -447,8 +487,8 @@ func (m *MMU) TranslateInto(ctx *Ctx, va memdefs.VAddr, write bool, kind memdefs
 			m.stats.TotalCycles += cycles
 			return m.ppnFor(r2.Entry, r2.Size, va), cycles, nil
 		case tlb.HitCoWFault:
-			m.L2.InvalidateSharedVA(sva, ctx.CCID)
-			m.L2.InvalidateVA(sva)
+			m.l2InvalidateSharedVA(sva, ctx.CCID)
+			m.l2InvalidateVA(sva)
 			fc, err := m.fault(ctx, va, write, kind, info)
 			cycles += fc
 			if err != nil {
@@ -463,6 +503,24 @@ func (m *MMU) TranslateInto(ctx *Ctx, va memdefs.VAddr, write bool, kind memdefs
 			m.stats.L2MissInstr++
 		} else {
 			m.stats.L2MissData++
+		}
+
+		// --- Policy structures (parked PTEs, coalesced runs), probed
+		// between the L2 TLB miss and the hardware walk. A hit yields a
+		// 4KB leaf translation promoted into both TLB levels; a miss still
+		// pays the probe (the structure was consulted either way).
+		if m.polCore != nil {
+			if r, ok := m.polCore.ProbeMiss(&xlatpolicy.MissProbe{VA: va, SVA: sva, Q: &q}); ok {
+				cycles += r.Lat
+				e2 := r.Entry
+				m.L2.Insert(memdefs.Page4K, e2)
+				m.fillL1(l1, ctx, va, memdefs.Page4K, &e2)
+				info.Level = "policy"
+				info.Size = memdefs.Page4K
+				m.stats.TotalCycles += cycles
+				return m.ppnFor(&e2, memdefs.Page4K, va), cycles, nil
+			}
+			cycles += m.polCore.MissPenalty()
 		}
 
 		// --- Hardware page walk.
@@ -636,7 +694,7 @@ func (m *MMU) walk(ctx *Ctx, l1 *tlb.Group, va, sva memdefs.VAddr, write bool, k
 		CCID:      ctx.CCID,
 		BroughtBy: ctx.PID,
 	}
-	if m.cfg.BabelFish {
+	if m.opc {
 		e2.Owned = leaf.Owned()
 		// ORPC lives in the pmd_t (Figure 5a); for 2MB huge pages the PMD
 		// entry is the leaf itself, and 1GB entries carry their own bit.
@@ -654,6 +712,12 @@ func (m *MMU) walk(ctx *Ctx, l1 *tlb.Group, va, sva memdefs.VAddr, write bool, k
 	}
 	m.L2.Insert(size, e2)
 	m.fillL1(l1, ctx, va, size, &e2)
+	if m.polCore != nil {
+		m.polCore.OnWalkFill(&xlatpolicy.WalkFill{
+			VA: va, SVA: sva, Size: size,
+			Entry: &e2, Table: leafTable, Index: leafIdx,
+		})
+	}
 
 	ppn := leaf.PPN()
 	switch size {
@@ -682,7 +746,7 @@ func (m *MMU) fillL1(l1 *tlb.Group, ctx *Ctx, va memdefs.VAddr, size memdefs.Pag
 	e := *src
 	e.VPN = size.VPNOf(va)
 	e.BroughtBy = ctx.PID
-	if m.cfg.BabelFish && m.cfg.ASLRHW {
+	if m.l1Private {
 		// L1 entries are private: conventional PCID tagging, no O-PC.
 		e.Owned = false
 		e.ORPC = false
@@ -705,12 +769,30 @@ func (m *MMU) ppnFor(e *tlb.Entry, size memdefs.PageSizeClass, va memdefs.VAddr)
 	}
 }
 
+// l2InvalidateVA drops va's L2 TLB entries and mirrors the invalidation
+// into the policy core (see the xlatpolicy invalidation contract: policy
+// structures cache the same group-address translations as the L2).
+func (m *MMU) l2InvalidateVA(va memdefs.VAddr) {
+	m.L2.InvalidateVA(va)
+	if m.polCore != nil {
+		m.polCore.InvalidateVA(va)
+	}
+}
+
+// l2InvalidateSharedVA is the shared-entry (CoW) counterpart.
+func (m *MMU) l2InvalidateSharedVA(va memdefs.VAddr, ccid memdefs.CCID) {
+	m.L2.InvalidateSharedVA(va, ccid)
+	if m.polCore != nil {
+		m.polCore.InvalidateSharedVA(va, ccid)
+	}
+}
+
 // InvalidateVA removes all translations of va from every TLB level and
 // drops stale PWC state (full per-page shootdown on this core).
 func (m *MMU) InvalidateVA(va memdefs.VAddr) {
 	m.L1D.InvalidateVA(va)
 	m.L1I.InvalidateVA(va)
-	m.L2.InvalidateVA(va)
+	m.l2InvalidateVA(va)
 }
 
 // InvalidateSharedVA removes only the shared (O==0) entries for va (a
@@ -719,8 +801,8 @@ func (m *MMU) InvalidateVA(va memdefs.VAddr) {
 // L1 entry is dropped by the accompanying full shootdown of its process
 // VA.
 func (m *MMU) InvalidateSharedVA(va memdefs.VAddr, ccid memdefs.CCID) {
-	m.L2.InvalidateSharedVA(va, ccid)
-	if !m.cfg.ASLRHW || !m.cfg.BabelFish {
+	m.l2InvalidateSharedVA(va, ccid)
+	if !m.l1Private {
 		m.L1D.InvalidateSharedVA(va, ccid)
 		m.L1I.InvalidateSharedVA(va, ccid)
 	}
@@ -742,6 +824,9 @@ func (m *MMU) FlushPCID(pcid memdefs.PCID) {
 	m.L1I.FlushPCID(pcid)
 	m.L2.FlushPCID(pcid)
 	m.PWC.FlushAll()
+	if m.polCore != nil {
+		m.polCore.FlushPCID(pcid)
+	}
 }
 
 // FlushAll empties all TLBs and the PWC (not used on context switches —
@@ -751,4 +836,7 @@ func (m *MMU) FlushAll() {
 	m.L1I.FlushAll()
 	m.L2.FlushAll()
 	m.PWC.FlushAll()
+	if m.polCore != nil {
+		m.polCore.FlushAll()
+	}
 }

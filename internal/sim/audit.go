@@ -30,6 +30,30 @@ func (m *Machine) AuditTLBs() kernel.AuditReport {
 		m.auditGroup(&r, fmt.Sprintf("core%d/L1D", c.ID), c.MMU.L1D, false, l1CCID)
 		m.auditGroup(&r, fmt.Sprintf("core%d/L1I", c.ID), c.MMU.L1I, false, l1CCID)
 		m.auditGroup(&r, fmt.Sprintf("core%d/L2", c.ID), c.MMU.L2, true, cfg.BabelFish)
+		// Policy structures (parked PTEs, coalesced runs) cache the same
+		// group-address leaf translations as the L2 TLB; every covered
+		// page must still be backed by a live PTE, or the invalidation
+		// mirror lost an entry. Coalesced runs expand to one view per page.
+		if pc := c.MMU.PolicyCore(); pc != nil {
+			where := fmt.Sprintf("core%d/policy", c.ID)
+			ccid := pc.CCIDTagged()
+			pc.ForEachValid(func(sz memdefs.PageSizeClass, e *tlb.Entry) {
+				m.Kernel.AuditTLBEntry(&r, kernel.TLBEntryView{
+					Where:      where,
+					Size:       sz,
+					VPN:        e.VPN,
+					PPN:        e.PPN,
+					Perm:       e.Perm,
+					CoW:        e.CoW,
+					PCID:       e.PCID,
+					CCID:       e.CCID,
+					Owned:      e.Owned,
+					GroupVA:    true,
+					CCIDTagged: ccid,
+					Global:     e.Global,
+				})
+			})
+		}
 		// A latched xcache cross-check divergence is a lost invalidation
 		// by definition — surface it through the same report.
 		if xc := c.MMU.XCache(); xc != nil {

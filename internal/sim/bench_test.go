@@ -57,29 +57,35 @@ func BenchmarkTranslate(b *testing.B) {
 // BenchmarkMachineRun measures whole-machine simulation throughput (the
 // scheduler loop, including the gated Info plumbing) with telemetry off.
 //
-// The variants isolate this PR's two levers: XCacheOff vs BabelFish is
-// the translation-result cache's win on the classic serial scheduler;
-// Wide vs Sharded is core-sharded stepping's win on a multi-core machine
-// (bounded by host CPUs — on a single-CPU host it measures barrier
-// overhead instead).
+// The variants isolate the simulator's perf levers: XCacheOff vs
+// BabelFish is the translation-result cache's win on the classic serial
+// scheduler; Wide vs Sharded is core-sharded stepping's win on a
+// multi-core machine (bounded by host CPUs — on a single-CPU host it
+// measures barrier overhead instead); Victima and Coalesced price the
+// per-miss policy-store probes of the registry architectures.
 func BenchmarkMachineRun(b *testing.B) {
 	cases := []struct {
 		name   string
-		mode   kernel.Mode
+		arch   string
 		xcache bool
 		cores  int
 		shards int
 	}{
-		{"Baseline", kernel.ModeBaseline, true, 1, 0},
-		{"BabelFish", kernel.ModeBabelFish, true, 1, 0},
-		{"BabelFishXCacheOff", kernel.ModeBabelFish, false, 1, 0},
-		{"BabelFishWide", kernel.ModeBabelFish, true, 4, 0},
-		{"BabelFishSharded", kernel.ModeBabelFish, true, 4, 4},
+		{"Baseline", "baseline", true, 1, 0},
+		{"BabelFish", "babelfish", true, 1, 0},
+		{"BabelFishXCacheOff", "babelfish", false, 1, 0},
+		{"BabelFishWide", "babelfish", true, 4, 0},
+		{"BabelFishSharded", "babelfish", true, 4, 4},
+		{"Victima", "victima", true, 1, 0},
+		{"Coalesced", "coalesced", true, 1, 0},
 	}
 	for _, c := range cases {
 		c := c
 		b.Run(c.name, func(b *testing.B) {
-			p := sim.DefaultParams(c.mode)
+			p, err := sim.ParamsForArch(c.arch)
+			if err != nil {
+				b.Fatal(err)
+			}
 			p.Cores = c.cores
 			p.MemBytes = 512 << 20
 			p.XCache = c.xcache

@@ -11,6 +11,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"babelfish/internal/cache"
 	"babelfish/internal/dram"
@@ -24,6 +25,7 @@ import (
 	"babelfish/internal/telemetry"
 	"babelfish/internal/trace"
 	"babelfish/internal/xcache"
+	"babelfish/internal/xlatpolicy"
 )
 
 // ReqMark labels request boundaries inside a generated access stream.
@@ -148,6 +150,39 @@ func DefaultParams(mode kernel.Mode) Params {
 		L3:     cache.DefaultL3Config(),
 		DRAM:   dram.DefaultConfig(),
 	}
+}
+
+// ParamsForArch returns Table I's machine for a named registered
+// translation architecture (see internal/xlatpolicy): the kernel runs in
+// BabelFish page-table-sharing mode exactly when the policy asks for it,
+// and every core's MMU resolves the policy's tag modes and extra lookup
+// structures. Unknown names return an error listing the accepted set.
+func ParamsForArch(name string) (Params, error) {
+	a, ok := xlatpolicy.Get(name)
+	if !ok {
+		return Params{}, fmt.Errorf("sim: unknown architecture %q (have %s)",
+			name, strings.Join(xlatpolicy.SortedNames(), ", "))
+	}
+	mode := kernel.ModeBaseline
+	if a.SharedKernel() {
+		mode = kernel.ModeBabelFish
+	}
+	p := DefaultParams(mode)
+	p.MMU.Policy = a.Policy
+	p.MMU.BabelFish = a.OPC()
+	return p, nil
+}
+
+// Validate checks cross-field constraints that New would otherwise have
+// to resolve silently. CLIs call it to reject a configuration with a
+// clear error; New itself self-disables the xcache for non-replayable
+// policies rather than diverge.
+func (p Params) Validate() error {
+	if p.XCache && p.MMU.Policy != nil && !p.MMU.Policy.XCacheReplayable() {
+		return fmt.Errorf("sim: translation-result cache cannot replay policy %q byte-identically; disable the xcache for this architecture",
+			p.MMU.Policy.Name())
+	}
+	return nil
 }
 
 // Task is one schedulable process with its access generator.
@@ -319,7 +354,11 @@ func New(p Params) *Machine {
 		hier := cache.NewHierarchy(p.Hier, l3)
 		core := &Core{ID: i, Hier: hier, Mem: hier}
 		core.MMU = mmu.New(p.MMU, mem, hier, os)
-		if p.XCache {
+		// The xcache's validity is anchored to L1 TLB generation counters;
+		// a policy that cannot be replayed under that signal self-disables
+		// the cache (Params.Validate surfaces the same condition as an
+		// error for CLIs that want to reject instead).
+		if p.XCache && core.MMU.Policy().XCacheReplayable() {
 			core.MMU.EnableXCache(xcache.Config{Entries: p.XCacheEntries, AuditEvery: p.XCacheAudit})
 		}
 		m.Cores = append(m.Cores, core)
@@ -375,12 +414,22 @@ func (m *Machine) buildDeviceGroups() {
 		{"tlb.l1d", perCore(func(c *Core) memsys.Device { return c.MMU.L1D })},
 		{"tlb.l1i", perCore(func(c *Core) memsys.Device { return c.MMU.L1I })},
 		{"pwc", perCore(func(c *Core) memsys.Device { return c.MMU.PWC })},
+	}
+	// Policies with per-core structures (Victima, coalesced) join the
+	// device layer under the structure's own name; baseline and babelfish
+	// have none, so their telemetry schema is unchanged.
+	if len(m.Cores) > 0 && m.Cores[0].MMU.PolicyCore() != nil {
+		pc := m.Cores[0].MMU.PolicyCore()
+		m.devGroups = append(m.devGroups,
+			deviceGroup{pc.Name(), perCore(func(c *Core) memsys.Device { return c.MMU.PolicyCore() })})
+	}
+	m.devGroups = append(m.devGroups, []deviceGroup{
 		{"cache.l1d", perCore(func(c *Core) memsys.Device { return c.Hier.L1D })},
 		{"cache.l1i", perCore(func(c *Core) memsys.Device { return c.Hier.L1I })},
 		{"cache.l2", perCore(func(c *Core) memsys.Device { return c.Hier.L2 })},
 		{"cache.l3", l3devs},
 		{"dram", dramdevs},
-	}
+	}...)
 }
 
 // Devices returns the machine's memory-system devices in registration

@@ -14,7 +14,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out=${1:-BENCH_7.json}
+out=${1:-BENCH_8.json}
 pr=$(basename "$out" .json | sed 's/^BENCH_//')
 prev="BENCH_$((pr - 1)).json"
 tmp=$(mktemp -d)
@@ -80,6 +80,8 @@ ns_run_bf=$(ns_of 'BenchmarkMachineRun/BabelFish' "$tmp/bench_sim.txt")
 ns_run_noxc=$(ns_of 'BenchmarkMachineRun/BabelFishXCacheOff' "$tmp/bench_sim.txt")
 ns_run_wide=$(ns_of 'BenchmarkMachineRun/BabelFishWide' "$tmp/bench_sim.txt")
 ns_run_shard=$(ns_of 'BenchmarkMachineRun/BabelFishSharded' "$tmp/bench_sim.txt")
+ns_run_victima=$(ns_of 'BenchmarkMachineRun/Victima' "$tmp/bench_sim.txt")
+ns_run_coal=$(ns_of 'BenchmarkMachineRun/Coalesced' "$tmp/bench_sim.txt")
 ns_tlb=$(ns_of BenchmarkTLBLookup "$tmp/bench_root.txt")
 ns_walk=$(ns_of BenchmarkTranslateWalk "$tmp/bench_root.txt")
 ns_fleet=$(ns_of BenchmarkFleetEpoch "$tmp/bench_fleet.txt")
@@ -228,6 +230,8 @@ cat > "$out" <<EOF
     "BenchmarkMachineRun/BabelFishXCacheOff": $ns_run_noxc,
     "BenchmarkMachineRun/BabelFishWide": $ns_run_wide,
     "BenchmarkMachineRun/BabelFishSharded": $ns_run_shard,
+    "BenchmarkMachineRun/Victima": $ns_run_victima,
+    "BenchmarkMachineRun/Coalesced": $ns_run_coal,
     "BenchmarkTLBLookup": $ns_tlb,
     "BenchmarkTranslateWalk": $ns_walk,
     "BenchmarkFleetEpoch": $ns_fleet
