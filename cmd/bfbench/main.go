@@ -3,15 +3,18 @@
 //
 // Usage:
 //
-//	bfbench [-exp all|tableI|fig9|fig10a|fig10b|fig11|tableII|tableIII|largertlb|bringup|resources|archcompare]
+//	bfbench [-exp all|tableI|fig9|fig10a|fig10b|fig11|tableII|tableIII|largertlb|bringup|resources|archcompare|loadramp]
 //	        [-arch NAME,NAME,...] [-cores N] [-scale F] [-warm N] [-measure N] [-seed N] [-quick]
 //	        [-trace-out FILE] [-flight-depth N]
 //
 // -exp archcompare runs the architecture head-to-head sweep: every
 // workload measured under each requested translation policy (-arch, a
 // comma-separated list of registered architecture names; empty sweeps
-// them all). It is opt-in only — never part of -exp all or the
-// json/markdown suite, whose output is pinned by the identity CI job.
+// them all). -exp loadramp sweeps a small fleet across open-loop
+// offered-load levels per architecture (-arch again; empty means the
+// baseline/BabelFish pair). Both are opt-in only — never part of
+// -exp all or the json/markdown suite, whose output is pinned by the
+// identity CI job.
 //
 // Each experiment prints rows shaped like the paper's; the headers quote
 // the paper's numbers for comparison.
@@ -38,8 +41,8 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id (all, tableI, fig9, fig10a, fig10b, fig11, tableII, tableIII, largertlb, bringup, resources, sweeps, fig7, archcompare)")
-		archs   = flag.String("arch", "", "architectures for -exp archcompare, comma-separated from "+xlatpolicy.UsageList()+" (empty = all registered)")
+		exp     = flag.String("exp", "all", "experiment id (all, tableI, fig9, fig10a, fig10b, fig11, tableII, tableIII, largertlb, bringup, resources, sweeps, fig7, archcompare, loadramp)")
+		archs   = flag.String("arch", "", "architectures for -exp archcompare or loadramp, comma-separated from "+xlatpolicy.UsageList()+" (empty = all registered / the baseline-babelfish pair)")
 		cores   = flag.Int("cores", 0, "number of cores (0 = default 8)")
 		scale   = flag.Float64("scale", 0, "dataset scale factor (0 = default 1.0)")
 		warm    = flag.Uint64("warm", 0, "warm-up instructions per core (0 = default)")
@@ -85,8 +88,10 @@ func main() {
 		if f.Name == "flight-depth" && *traceOut == "" {
 			usageErr("-flight-depth has no effect without -trace-out")
 		}
-		if f.Name == "arch" && strings.ToLower(*exp) != "archcompare" {
-			usageErr("-arch only applies to -exp archcompare")
+		if f.Name == "arch" {
+			if e := strings.ToLower(*exp); e != "archcompare" && e != "loadramp" {
+				usageErr("-arch only applies to -exp archcompare or loadramp")
+			}
 		}
 	})
 	var archList []string
@@ -202,6 +207,18 @@ func run(exp string, o experiments.Options, archList []string) error {
 	// job.
 	if exp == "archcompare" {
 		r, err := experiments.ArchCompare(o, archList)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r)
+		return nil
+	}
+
+	// The open-loop fleet ramp is likewise opt-in only: it runs whole
+	// clusters per cell and would both slow "all" and perturb the pinned
+	// identity output.
+	if exp == "loadramp" {
+		r, err := experiments.LoadRamp(o, archList)
 		if err != nil {
 			return err
 		}

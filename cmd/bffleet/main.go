@@ -13,6 +13,8 @@
 //	        [-part-nth N] [-part-prob P] [-part-seed N] [-part-after N] [-part-max N]
 //	        [-part-len N] [-restart-after N] [-suspicion N]
 //	        [-backoff-base N] [-backoff-cap N] [-retry-budget N]
+//	        [-load-shape off|const|ramp|diurnal|flash|trace] [-load-rps F]
+//	        [-load-peak F] [-load-trace FILE] [-queue-cap N] [-requeue-budget N]
 //	        [-max-per-node N] [-min-free F] [-shed-free F] [-degrade-epochs N]
 //	        [-jobs N] [-audit] [-events N] [-node-telemetry]
 //	        [-xcache on|off] [-xcache-audit N] [-core-shards N]
@@ -27,6 +29,21 @@
 // faults roll across the fleet instead of striking it in lockstep; the
 // whole fault pattern is a pure function of the flags, so runs replay
 // byte-identically.
+//
+// -load-shape attaches an open-loop offered-load stream: arrivals are a
+// pure function of (shape, seed, epoch) and never slow down when the
+// fleet degrades — service lag shows up as queueing delay and, past the
+// -queue-cap bound, dropped requests, exactly like a production
+// load generator. const offers -load-rps requests per epoch; ramp
+// climbs linearly from -load-rps to -load-peak over the run; diurnal
+// swings sinusoidally between them with the run as its period; flash
+// holds -load-rps with a spike to -load-peak for epochs/8 epochs
+// starting at epochs/3; trace replays an epoch,container,requests CSV
+// (-load-trace). The report gains an offered/admitted/served/dropped
+// line and a queue-delay histogram; output stays byte-identical at any
+// -jobs or -core-shards width. -requeue-budget bounds how many times
+// any one container may re-enter the placement queue before it is
+// declared lost.
 //
 // -audit runs the fleet invariant auditor after the run — no container
 // lost or double-placed, every assigned container reachable, and every
@@ -68,6 +85,7 @@ import (
 	"path/filepath"
 
 	"babelfish/internal/fleet"
+	"babelfish/internal/loadgen"
 	"babelfish/internal/memsys"
 	"babelfish/internal/metrics"
 	"babelfish/internal/obs"
@@ -110,6 +128,13 @@ func run() int {
 		backoffBase  = flag.Int("backoff-base", 1, "first re-placement retry delay, epochs")
 		backoffCap   = flag.Int("backoff-cap", 8, "re-placement backoff cap, epochs")
 		retryBudget  = flag.Int("retry-budget", 16, "placement attempts before a container is lost")
+
+		loadShape     = flag.String("load-shape", "off", "open-loop offered load: off, const, ramp, diurnal, flash or trace")
+		loadRPS       = flag.Float64("load-rps", 8, "offered requests per epoch across the fleet (base rate of const, ramp, diurnal and flash)")
+		loadPeak      = flag.Float64("load-peak", 0, "peak requests per epoch for ramp, diurnal and flash (0 = 4x -load-rps)")
+		loadTraceF    = flag.String("load-trace", "", "replay an epoch,container,requests CSV as the arrival stream (with -load-shape trace)")
+		queueCap      = flag.Int("queue-cap", 64, "per-container pending-request queue bound; admissions past it are dropped")
+		requeueBudget = flag.Int("requeue-budget", 64, "queue re-entries before a container is declared lost")
 
 		maxPerNode    = flag.Int("max-per-node", 8, "per-node container cap")
 		minFree       = flag.Float64("min-free", 0.04, "admission watermark: min free-frame fraction")
@@ -204,6 +229,25 @@ func run() int {
 	if *flightDepth < 0 {
 		usageErr("-flight-depth must be non-negative")
 	}
+	switch *loadShape {
+	case "off", "const", "ramp", "diurnal", "flash", "trace":
+	default:
+		usageErr("unknown load shape %q (want off, const, ramp, diurnal, flash or trace)", *loadShape)
+	}
+	if *loadShape != "off" && *loadShape != "trace" {
+		if *loadRPS <= 0 || math.IsNaN(*loadRPS) || math.IsInf(*loadRPS, 0) {
+			usageErr("-load-rps must be a positive number")
+		}
+		if *loadPeak < 0 || math.IsNaN(*loadPeak) || math.IsInf(*loadPeak, 0) {
+			usageErr("-load-peak must be a non-negative number (0 = 4x -load-rps)")
+		}
+	}
+	if *loadShape == "trace" && *loadTraceF == "" {
+		usageErr("-load-shape trace requires -load-trace FILE")
+	}
+	if *requeueBudget < 1 {
+		usageErr("-requeue-budget must be at least 1")
+	}
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "jobs":
@@ -226,8 +270,64 @@ func run() int {
 			if *traceOut == "" && *flightDir == "" {
 				usageErr("-flight-depth has no effect without -trace-out or -flight-recorder")
 			}
+		case "load-rps":
+			if *loadShape == "off" || *loadShape == "trace" {
+				usageErr("-load-rps has no effect with -load-shape %s", *loadShape)
+			}
+		case "load-peak":
+			if *loadShape == "off" || *loadShape == "const" || *loadShape == "trace" {
+				usageErr("-load-peak has no effect with -load-shape %s", *loadShape)
+			}
+		case "load-trace":
+			if *loadShape != "trace" {
+				usageErr("-load-trace has no effect without -load-shape trace")
+			}
+		case "queue-cap":
+			if *loadShape == "off" {
+				usageErr("-queue-cap has no effect without -load-shape")
+			}
 		}
 	})
+
+	// The arrival source is built once and shared by every run of the
+	// loop below: Split resets itself whenever a run rewinds to epoch 0
+	// and a Trace is stateless, so -arch both replays the identical
+	// arrival stream against both architectures.
+	var loadSrc loadgen.Source
+	if *loadShape != "off" {
+		peak := *loadPeak
+		if peak == 0 {
+			peak = 4 * *loadRPS
+		}
+		var shape loadgen.Shape
+		switch *loadShape {
+		case "const":
+			shape = loadgen.Constant{RPS: *loadRPS}
+		case "ramp":
+			shape = loadgen.Ramp{Base: *loadRPS, Peak: peak, Epochs: *epochs}
+		case "diurnal":
+			shape = loadgen.Diurnal{Base: *loadRPS, Peak: peak, Period: *epochs}
+		case "flash":
+			start := *epochs / 3
+			length := *epochs / 8
+			if length < 1 {
+				length = 1
+			}
+			shape = loadgen.Flash{Base: *loadRPS, Peak: peak, Start: start, Len: length}
+		case "trace":
+			tr, err := loadgen.LoadTrace(*loadTraceF)
+			if err != nil {
+				usageErr("%v", err)
+			}
+			if mc := tr.MaxContainer(); mc >= *containers {
+				usageErr("-load-trace references container %d but the fleet has only %d (-containers)", mc, *containers)
+			}
+			loadSrc = tr
+		}
+		if shape != nil {
+			loadSrc = loadgen.Split(shape, *containers, *seed)
+		}
+	}
 
 	buildConfig := func(name string) fleet.Config {
 		p, err := sim.ParamsForArch(name)
@@ -265,6 +365,9 @@ func run() int {
 		cfg.MinFreeFrac = *minFree
 		cfg.ShedFrac = *shedFree
 		cfg.DegradeEpochs = *degradeEpochs
+		cfg.Load = loadSrc
+		cfg.QueueCap = *queueCap
+		cfg.RequeueBudget = *requeueBudget
 		cfg.NodeTelemetry = *nodeTel
 		cfg.Jobs = *jobs
 		cfg.Obs = obs.Options{Enabled: *traceOut != "", Depth: *flightDepth, FlightDir: *flightDir}

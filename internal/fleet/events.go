@@ -50,6 +50,10 @@ const (
 	// EvLost: a container exhausted its retry budget — an auditor
 	// violation; the default budget is sized so this never fires.
 	EvLost
+	// EvComplete: a container's workload ran to completion — a terminal
+	// state; the container leaves the scheduler's responsibility without
+	// being requeued.
+	EvComplete
 )
 
 var eventNames = [...]string{
@@ -68,6 +72,7 @@ var eventNames = [...]string{
 	EvOOMKill:   "oom-kill",
 	EvDegraded:  "degraded",
 	EvLost:      "lost",
+	EvComplete:  "complete",
 }
 
 func (k EventKind) String() string {

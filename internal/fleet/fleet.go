@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"math"
 
+	"babelfish/internal/loadgen"
 	"babelfish/internal/memsys"
 	"babelfish/internal/obs"
 	"babelfish/internal/par"
@@ -57,9 +58,31 @@ type Config struct {
 
 	// Epochs is the number of control-loop rounds Run executes;
 	// EpochInstr is the per-core instruction budget each live node's
-	// machine advances per epoch.
+	// machine advances per epoch. With Load set, EpochInstr is the
+	// per-epoch capacity cap: admission gates starve each container's
+	// task once its admitted requests drain, so a node only steps the
+	// budget the admitted work actually demands.
 	Epochs     int
 	EpochInstr uint64
+
+	// Load, when non-nil, switches the fleet to open-loop load: each
+	// epoch the source's arrivals enter per-container bounded pending
+	// queues, and placed containers drain exactly the admitted requests
+	// through workloads.RequestGate valves. Arrivals are a pure function
+	// of the epoch number — they never slow down when the fleet degrades
+	// (that is the point of open-loop), so overload shows up as queueing
+	// delay and drops instead of silently reduced offered load.
+	Load loadgen.Source `json:"-"`
+	// QueueCap bounds each container's pending-request queue; arrivals
+	// beyond it are dropped (admission control). Required >= 1 when Load
+	// is set.
+	QueueCap int
+
+	// RequeueBudget caps how many times one container may re-enter the
+	// re-placement queue over its whole life. Attempts (below) resets per
+	// queue episode for backoff purposes; this budget is what catches a
+	// container ping-ponging through shed/condemn/OOM cycles forever.
+	RequeueBudget int
 
 	// SuspicionEpochs is the failure detector's timeout: a node whose
 	// heartbeat has been missing for more than this many epochs is
@@ -125,6 +148,8 @@ func DefaultConfig(params sim.Params, spec *workloads.AppSpec) Config {
 		BackoffBase:     1,
 		BackoffCap:      8,
 		RetryBudget:     16,
+		RequeueBudget:   64,
+		QueueCap:        64,
 		MaxPerNode:      8,
 		MinFreeFrac:     0.04,
 		ShedFrac:        0.02,
@@ -162,6 +187,10 @@ func (c Config) Validate() error {
 		return errors.New("fleet: BackoffCap must be >= BackoffBase")
 	case c.RetryBudget < 1:
 		return errors.New("fleet: RetryBudget must be at least 1")
+	case c.RequeueBudget < 1:
+		return errors.New("fleet: RequeueBudget must be at least 1")
+	case c.Load != nil && c.QueueCap < 1:
+		return errors.New("fleet: QueueCap must be at least 1 when Load is set")
 	case c.MaxPerNode < 1:
 		return errors.New("fleet: MaxPerNode must be at least 1")
 	case c.MinFreeFrac < 0 || c.MinFreeFrac >= 1 || math.IsNaN(c.MinFreeFrac):
@@ -195,6 +224,13 @@ type counters struct {
 	oomEscalations      uint64
 	degradations        uint64
 	lost                uint64
+	completions         uint64
+
+	// Open-loop request accounting (Config.Load != nil).
+	reqOffered  uint64
+	reqAdmitted uint64
+	reqServed   uint64
+	reqDropped  uint64
 }
 
 // Cluster is a running fleet.
@@ -211,6 +247,10 @@ type Cluster struct {
 	histDowntime *telemetry.Hist
 	histReqLat   *telemetry.Hist
 	histXlat     *telemetry.Hist
+	histQDelay   *telemetry.Hist
+
+	// arrivals is the per-epoch scratch buffer Load.Arrivals fills.
+	arrivals []int
 
 	// sumRunning/sumUp accumulate per-epoch running-container and
 	// up-node counts for the mean-density report line.
@@ -274,6 +314,9 @@ func New(cfg Config) (*Cluster, error) {
 	for i := 0; i < cfg.Containers; i++ {
 		c.containers = append(c.containers, &Container{ID: i, Node: -1})
 	}
+	if cfg.Load != nil {
+		c.arrivals = make([]int, cfg.Containers)
+	}
 	c.registerMetrics()
 	return c, nil
 }
@@ -330,6 +373,7 @@ func (c *Cluster) Run() error {
 func (c *Cluster) Step() error {
 	c.epoch++
 	ctlEpoch := c.beginEpoch()
+	c.admitLoad()
 	var p par.Plan
 	for _, n := range c.nodes {
 		if n.state != NodeUp || len(n.running()) == 0 {
@@ -350,6 +394,7 @@ func (c *Cluster) Step() error {
 	for _, n := range c.nodes {
 		n.endEpochSpan(c.epoch, ctlEpoch)
 	}
+	c.drainServed()
 	c.absorbOOMKills()
 	c.injectFaults()
 	c.heartbeats()
@@ -374,7 +419,9 @@ func (c *Cluster) Step() error {
 
 // Finish merges per-task request latencies (and, with NodeTelemetry,
 // per-node translation histograms) into the fleet-wide log2 histograms.
-// Idempotent; Run calls it automatically.
+// Idempotent; Run calls it automatically. Crashed incarnations were
+// already harvested at crash time (see injectFaults), so only the
+// surviving machines remain.
 func (c *Cluster) Finish() {
 	if c.finished {
 		return
@@ -384,16 +431,97 @@ func (c *Cluster) Finish() {
 		if n.m == nil {
 			continue
 		}
-		// Every task the node ever hosted, in schedule order — including
-		// shed, fenced and OOM-killed containers, whose served requests
-		// count. (Crashed incarnations died with their samples.)
-		for _, t := range n.m.Tasks() {
-			t.Lat.Each(func(v float64) { c.histReqLat.Observe(uint64(v)) })
+		c.harvestMachine(n.m)
+	}
+}
+
+// harvestMachine merges one machine incarnation's per-task request
+// latencies (every task it ever hosted, in schedule order — including
+// shed, fenced and OOM-killed containers, whose served requests count)
+// and, with NodeTelemetry, its translation histogram into the
+// fleet-wide roll-ups. Called by Finish for surviving machines and at
+// crash time for dying incarnations — a crash must not discard the
+// latency samples the node already served.
+func (c *Cluster) harvestMachine(m *sim.Machine) {
+	for _, t := range m.Tasks() {
+		t.Lat.Each(func(v float64) { c.histReqLat.Observe(uint64(v)) })
+	}
+	if c.cfg.NodeTelemetry {
+		c.histXlat.Merge(m.XlatHist())
+	}
+}
+
+// admitLoad runs the open-loop arrival phase: the load source's
+// per-container arrivals for this epoch enter bounded pending queues
+// (overflow is dropped — admission control), then every running
+// container's gate target rises to cover its backlog so the data plane
+// drains exactly the admitted requests. Offered load is a pure function
+// of the epoch number: degradation never slows arrivals.
+func (c *Cluster) admitLoad() {
+	if c.cfg.Load == nil {
+		return
+	}
+	c.cfg.Load.Arrivals(c.epoch-1, c.arrivals)
+	for i, n := range c.arrivals {
+		if n == 0 {
+			continue
 		}
-		if c.cfg.NodeTelemetry {
-			c.histXlat.Merge(n.m.XlatHist())
+		ct := c.containers[i]
+		c.ctr.reqOffered += uint64(n)
+		if ct.Lost || ct.Completed {
+			c.ctr.reqDropped += uint64(n)
+			continue
+		}
+		for k := 0; k < n; k++ {
+			if len(ct.pend) >= c.cfg.QueueCap {
+				c.ctr.reqDropped += uint64(n - k)
+				break
+			}
+			ct.pend = append(ct.pend, c.epoch)
+			c.ctr.reqAdmitted++
 		}
 	}
+	for _, ct := range c.containers {
+		if ct.gate != nil && ct.Running() {
+			ct.gate.SetTarget(ct.gateSeen + uint64(len(ct.pend)))
+		}
+	}
+}
+
+// drainServed reconciles gate progress after the data-plane phase:
+// requests the gates emitted this epoch leave the pending queues
+// oldest-first, each recording its admit-to-serve queueing delay. Runs
+// before fault injection so a node crashing this epoch cannot lose the
+// serve accounting of work it already did.
+func (c *Cluster) drainServed() {
+	if c.cfg.Load == nil {
+		return
+	}
+	for _, ct := range c.containers {
+		if ct.gate == nil {
+			continue
+		}
+		newly := int(ct.gate.Emitted() - ct.gateSeen)
+		ct.gateSeen = ct.gate.Emitted()
+		if newly > len(ct.pend) {
+			newly = len(ct.pend)
+		}
+		for k := 0; k < newly; k++ {
+			c.histQDelay.Observe(uint64(c.epoch - ct.pend[k]))
+			c.ctr.reqServed++
+		}
+		ct.pend = append(ct.pend[:0], ct.pend[newly:]...)
+	}
+}
+
+// queueDepth is the total number of requests waiting in container
+// pending queues.
+func (c *Cluster) queueDepth() int {
+	n := 0
+	for _, ct := range c.containers {
+		n += len(ct.pend)
+	}
+	return n
 }
 
 // requeue sends a container back to the placement queue.
@@ -403,10 +531,26 @@ func (c *Cluster) requeue(ct *Container, detail string) {
 
 // requeueCaused is requeue with the span of the causing event (condemn,
 // OOM kill, shed) as the queued span's causal parent.
+//
+// Attempts deliberately resets here: it is the per-episode counter that
+// drives placement backoff within one stay in the queue. The lifetime
+// bound is Requeues, checked against Config.RequeueBudget — without it a
+// container ping-ponging through shed/condemn/OOM cycles would reset
+// Attempts forever and never trip the EvLost audit.
 func (c *Cluster) requeueCaused(ct *Container, detail string, cause obs.SpanID) {
 	ct.Node = -1
 	ct.task = nil
+	ct.gate = nil
+	ct.gateSeen = 0
 	ct.Attempts = 0
+	ct.Requeues++
+	if ct.Requeues > c.cfg.RequeueBudget {
+		ct.Lost = true
+		c.ctr.lost++
+		c.eventCaused(EvLost, -1, ct.ID,
+			fmt.Sprintf("requeue budget %d exhausted", c.cfg.RequeueBudget), cause)
+		return
+	}
 	ct.NextTry = c.epoch
 	ct.QueuedAt = c.epoch
 	c.ctr.queued++
@@ -475,6 +619,10 @@ func (c *Cluster) injectFaults() {
 					p.ct.task = nil
 				}
 			}
+			// Harvest the dying incarnation's served-request samples
+			// before dropping the machine: the latency a request already
+			// paid is history, not state that dies with the node.
+			c.harvestMachine(n.m)
 			n.placed = nil
 			n.m = nil
 			n.dep = nil
@@ -514,7 +662,23 @@ func (c *Cluster) heartbeats() {
 		n.hlth = Healthy
 		// Reconciliation: assigned containers the node does not run.
 		for _, ct := range c.containers {
-			if ct.Node == n.id && (ct.task == nil || ct.task.Done) {
+			if ct.Node != n.id {
+				continue
+			}
+			if ct.task != nil && ct.task.Done && !ct.task.OOMKilled {
+				// Ran to completion — a terminal state, not a failure.
+				// Requeueing finished work would restart it and
+				// double-count its duplicate task at Finish.
+				n.dropPlacement(ct)
+				ct.Node = -1
+				ct.task = nil
+				ct.gate = nil
+				ct.Completed = true
+				c.ctr.completions++
+				c.event(EvComplete, n.id, ct.ID, "ran to completion")
+				continue
+			}
+			if ct.task == nil || ct.task.Done {
 				n.dropPlacement(ct)
 				c.requeue(ct, "reconciled: not running on node")
 			}
@@ -612,7 +776,7 @@ func (c *Cluster) runningCount() int {
 func (c *Cluster) pendingCount() int {
 	n := 0
 	for _, ct := range c.containers {
-		if !ct.Lost && ct.Node < 0 {
+		if !ct.Lost && !ct.Completed && ct.Node < 0 {
 			n++
 		}
 	}
@@ -637,7 +801,7 @@ func (c *Cluster) upCount() int {
 // burns one unit of the retry budget.
 func (c *Cluster) placePending() {
 	for _, ct := range c.containers {
-		if ct.Lost || ct.Node >= 0 || c.epoch < ct.NextTry {
+		if ct.Lost || ct.Completed || ct.Node >= 0 || c.epoch < ct.NextTry {
 			continue
 		}
 		if c.tryPlace(ct) {
@@ -720,6 +884,16 @@ func (c *Cluster) placeOn(n *node, ct *Container) bool {
 			return false
 		}
 		panic(fmt.Sprintf("fleet: node %d prefault failed: %v", n.id, err))
+	}
+	if c.cfg.Load != nil {
+		// Wrap the workload behind an admission gate so the task drains
+		// exactly the container's admitted backlog. The pending queue
+		// survives re-placement; the fresh gate opens to cover it.
+		g := workloads.NewRequestGate(task.Gen)
+		task.Gen = g
+		ct.gate = g
+		ct.gateSeen = 0
+		g.SetTarget(uint64(len(ct.pend)))
 	}
 	n.placed = append(n.placed, placement{ct: ct, task: task})
 	ct.Node = n.id

@@ -207,11 +207,26 @@ type Container struct {
 	QueuedAt int
 	// Placements counts successful placements over the container's life.
 	Placements int
-	// Lost marks a container whose retry budget ran out — an auditor
-	// violation.
+	// Requeues counts queue re-entries over the container's whole life;
+	// Config.RequeueBudget bounds it so shed/condemn/OOM ping-pong
+	// eventually trips the lost audit instead of cycling forever.
+	Requeues int
+	// Lost marks a container whose retry or requeue budget ran out — an
+	// auditor violation.
 	Lost bool
+	// Completed marks a container whose workload ran to completion — a
+	// terminal state: counted, never requeued, never pending.
+	Completed bool
 
 	task *sim.Task
+
+	// Open-loop load state (Config.Load != nil): pend holds the admit
+	// epoch of every queued request (oldest first), gate is the current
+	// placement's admission valve and gateSeen the gate's emitted count
+	// the fleet has already drained against pend.
+	pend     []int
+	gate     *workloads.RequestGate
+	gateSeen uint64
 }
 
 // Running reports whether the container currently has a live task.

@@ -132,7 +132,7 @@ func (c *Cluster) recordEventSpan(kind EventKind, nodeID, ctID int, detail strin
 				parent = c.nodeCause[nodeID]
 			}
 		}
-	case EvQueued, EvPlaceFail, EvPlaced, EvLost:
+	case EvQueued, EvPlaceFail, EvPlaced, EvLost, EvComplete:
 		if parent == 0 {
 			parent = c.ctCause[ctID]
 		}
@@ -162,7 +162,7 @@ func (c *Cluster) recordEventSpan(kind EventKind, nodeID, ctID int, detail strin
 	case EvRestart, EvRejoin:
 		// Recovery ends the node's cause chain.
 		c.nodeCause[nodeID] = 0
-	case EvOOMKill, EvShed, EvFence, EvQueued, EvPlaceFail, EvPlaced:
+	case EvOOMKill, EvShed, EvFence, EvQueued, EvPlaceFail, EvPlaced, EvComplete:
 		c.ctCause[ctID] = id
 	}
 	switch kind {

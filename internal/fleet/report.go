@@ -24,9 +24,15 @@ func (c *Cluster) Report() string {
 		c.ctr.crashes, c.ctr.restarts, c.ctr.partitions, c.ctr.heals)
 	fmt.Fprintf(&b, "detector:  suspects %d, condemned %d, rejoins %d, heartbeat misses %d\n",
 		c.ctr.suspects, c.ctr.condemned, c.ctr.rejoins, c.ctr.heartbeatMisses)
-	fmt.Fprintf(&b, "scheduler: queued %d, placements %d, refusals %d, sheds %d, fences %d, oom escalations %d, degradations %d, lost %d\n",
-		c.ctr.queued, c.ctr.placements, c.ctr.placeFails, c.ctr.sheds,
+	fmt.Fprintf(&b, "scheduler: queued %d, placements %d, completed %d, refusals %d, sheds %d, fences %d, oom escalations %d, degradations %d, lost %d\n",
+		c.ctr.queued, c.ctr.placements, c.ctr.completions, c.ctr.placeFails, c.ctr.sheds,
 		c.ctr.fences, c.ctr.oomEscalations, c.ctr.degradations, c.ctr.lost)
+	if c.cfg.Load != nil {
+		fmt.Fprintf(&b, "load:      shape %s, offered %d, admitted %d, served %d, dropped %d, backlog %d\n",
+			c.cfg.Load.Name(), c.ctr.reqOffered, c.ctr.reqAdmitted,
+			c.ctr.reqServed, c.ctr.reqDropped, c.queueDepth())
+		histLine(&b, "queue delay", c.histQDelay, "epochs")
+	}
 	histLine(&b, "replace delay", c.histReplace, "epochs")
 	histLine(&b, "node downtime", c.histDowntime, "epochs")
 	histLine(&b, "req latency", c.histReqLat, "cycles")

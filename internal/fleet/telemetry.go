@@ -28,8 +28,19 @@ func (c *Cluster) registerMetrics() {
 	ctr("fences", "stale containers killed at node rejoin", &c.ctr.fences)
 	ctr("oom_escalations", "node OOM kills absorbed as escalations", &c.ctr.oomEscalations)
 	ctr("degradations", "admission-control degradation windows opened", &c.ctr.degradations)
-	ctr("lost", "containers lost to retry-budget exhaustion", &c.ctr.lost)
+	ctr("lost", "containers lost to retry- or requeue-budget exhaustion", &c.ctr.lost)
+	ctr("completions", "containers whose workload ran to completion", &c.ctr.completions)
 
+	req := func(name, help string, p *uint64) {
+		r.Counter("fleet."+name, "requests", help, func() uint64 { return *p })
+	}
+	req("req_offered", "requests offered by the open-loop load source", &c.ctr.reqOffered)
+	req("req_admitted", "offered requests admitted into container queues", &c.ctr.reqAdmitted)
+	req("req_served", "admitted requests served by container tasks", &c.ctr.reqServed)
+	req("req_dropped", "offered requests dropped (queue full, container lost or completed)", &c.ctr.reqDropped)
+
+	r.Gauge("fleet.queue_depth", "requests", "requests waiting in container pending queues",
+		func() float64 { return float64(c.queueDepth()) })
 	r.Gauge("fleet.nodes_up", "nodes", "nodes currently up",
 		func() float64 { return float64(c.upCount()) })
 	r.Gauge("fleet.containers_running", "containers", "containers with a live task",
@@ -47,6 +58,8 @@ func (c *Cluster) registerMetrics() {
 		"request latency across all containers (surviving machines)")
 	c.histXlat = r.Histogram("fleet.xlat_latency", "cycles",
 		"translation latency merged from per-node machines (NodeTelemetry)")
+	c.histQDelay = r.Histogram("fleet.queue_delay", "epochs",
+		"admit-to-serve queueing delay of served requests (open-loop load)")
 }
 
 // Density is the mean number of running containers per up node,

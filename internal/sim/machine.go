@@ -86,6 +86,18 @@ type KernelMutator interface {
 	MutatesKernel() bool
 }
 
+// Starver marks a generator that can run dry *temporarily*: when Starved
+// reports true, a refill returning zero steps means "no work admitted
+// right now", not end-of-stream, so the scheduler parks the task instead
+// of marking it Done. The fleet's open-loop request gates
+// (internal/workloads.RequestGate) use this to drain exactly the
+// admitted requests each epoch. Starved must be deterministic in the
+// generator's own state — the schedulers consult it on every refill that
+// comes back empty, in both classic and sharded stepping.
+type Starver interface {
+	Starved() bool
+}
+
 // Params configures a machine.
 type Params struct {
 	Cores    int
@@ -219,6 +231,10 @@ type Task struct {
 	// KernelMutator) that producing steps mutates kernel state; sharded
 	// stepping pushes such refills to the quantum barrier.
 	genMutates bool
+	// starver is the generator's Starver view, when it has one: an empty
+	// refill from a starved generator parks the task instead of
+	// finishing it (open-loop admission gating).
+	starver Starver
 	// OOMKilled marks a task terminated by the machine's OOM killer: an
 	// allocation failed even after reclaim, so the process was exited (its
 	// memory freed) instead of crashing the whole run.
@@ -587,6 +603,7 @@ func (t *Task) syncGen() {
 	t.bgen = nil
 	t.bpos, t.blen = 0, 0
 	t.genMutates = false
+	t.starver = nil
 	if bg, ok := t.Gen.(BatchGenerator); ok {
 		t.bgen = bg
 		if t.batch == nil {
@@ -596,6 +613,28 @@ func (t *Task) syncGen() {
 	if km, ok := t.Gen.(KernelMutator); ok {
 		t.genMutates = km.MutatesKernel()
 	}
+	t.starver, _ = t.Gen.(Starver)
+}
+
+// starved reports whether the task's generator is parked waiting for
+// admitted work (see Starver). Never true for ordinary generators.
+func (t *Task) starved() bool {
+	return t.starver != nil && t.starver.Starved()
+}
+
+// runnable reports whether the scheduler should give the task core time:
+// not finished, and either holding unconsumed buffered steps or backed
+// by a generator that is not starved. With no Starver in play this is
+// exactly !Done, so legacy schedules are untouched.
+func (t *Task) runnable() bool {
+	if t.Done {
+		return false
+	}
+	t.syncGen()
+	if t.bgen != nil && t.bpos < t.blen {
+		return true
+	}
+	return !t.starved()
 }
 
 // nextStep pulls the task's next step — through the batch carry buffer
@@ -623,10 +662,13 @@ func (t *Task) nextStep(scratch *Step) *Step {
 	return scratch
 }
 
-// liveTasks reports whether the core still has unfinished tasks.
-func (c *Core) liveTasks() bool {
+// runnableTasks reports whether the core has tasks worth scheduling —
+// unfinished and not starved. Run loops gate on this so a fleet epoch
+// ends once every admitted request has drained, instead of spinning
+// empty quanta against parked gates.
+func (c *Core) runnableTasks() bool {
 	for _, t := range c.tasks {
-		if !t.Done {
+		if t.runnable() {
 			return true
 		}
 	}
@@ -640,23 +682,23 @@ func (m *Machine) runQuantum(c *Core) (uint64, error) {
 	if n == 0 {
 		return 0, nil
 	}
-	// Pick the next live task.
+	// Pick the next runnable task.
 	for i := 0; i < n; i++ {
-		if !c.tasks[c.cur].Done {
+		if c.tasks[c.cur].runnable() {
 			break
 		}
 		c.cur = (c.cur + 1) % n
 	}
 	t := c.tasks[c.cur]
-	if t.Done {
+	if !t.runnable() {
 		return 0, nil
 	}
 	if m.Params.SMT {
-		// Pick a second live task as the sibling hardware thread.
+		// Pick a second runnable task as the sibling hardware thread.
 		var t2 *Task
 		for i := 1; i < n; i++ {
 			cand := c.tasks[(c.cur+i)%n]
-			if !cand.Done {
+			if cand.runnable() {
 				t2 = cand
 				break
 			}
@@ -742,17 +784,26 @@ func (m *Machine) runQuantumSMT(c *Core, t1, t2 *Task) (uint64, error) {
 	if !observe {
 		infoPtr = nil
 	}
+	// stopped parks a thread whose starved generator ran dry mid-quantum
+	// without finishing it; the sibling keeps the core for the remainder.
+	var stopped [2]bool
+	halted := func(i int) bool { return tasks[i].Done || stopped[i] }
 	for c.Cycles < end {
-		t := tasks[turn%2]
+		i := turn % 2
 		turn++
-		if t.Done {
-			t = tasks[turn%2]
-			if t.Done {
+		if halted(i) {
+			i = turn % 2
+			if halted(i) {
 				break
 			}
 		}
+		t := tasks[i]
 		sp := t.nextStep(&step)
 		if sp == nil {
+			if t.starved() {
+				stopped[i] = true
+				continue
+			}
 			t.Done = true
 			t.FinishCycles = c.Cycles
 			continue
@@ -796,6 +847,9 @@ func (m *Machine) runQuantumTask(c *Core, t *Task) (uint64, error) {
 	for c.Cycles < end {
 		sp := t.nextStep(&step)
 		if sp == nil {
+			if t.starved() {
+				break // parked, not finished: admitted work ran dry
+			}
 			t.Done = true
 			t.FinishCycles = c.Cycles
 			break
@@ -876,7 +930,7 @@ func (m *Machine) RunTaskOnly(t *Task) error {
 	if core == nil {
 		return fmt.Errorf("sim: task not scheduled on any core")
 	}
-	for !t.Done {
+	for t.runnable() {
 		if _, err := m.runQuantumTask(core, t); err != nil {
 			return err
 		}
@@ -909,7 +963,7 @@ func (m *Machine) Run(instrBudget uint64) error {
 	for {
 		progress := false
 		for i, c := range m.Cores {
-			if !c.liveTasks() || c.Instrs-start[i] >= instrBudget {
+			if !c.runnableTasks() || c.Instrs-start[i] >= instrBudget {
 				continue
 			}
 			n, err := m.runQuantum(c)
@@ -926,7 +980,9 @@ func (m *Machine) Run(instrBudget uint64) error {
 	}
 }
 
-// RunToCompletion executes until every task on every core has finished.
+// RunToCompletion executes until every task on every core has finished
+// (or, for tasks behind starved admission gates, drained everything
+// admitted so far).
 func (m *Machine) RunToCompletion() error {
 	if m.useSharded() {
 		return m.shardEng.run(0, true)
@@ -934,7 +990,7 @@ func (m *Machine) RunToCompletion() error {
 	for {
 		progress := false
 		for _, c := range m.Cores {
-			if !c.liveTasks() {
+			if !c.runnableTasks() {
 				continue
 			}
 			if _, err := m.runQuantum(c); err != nil {

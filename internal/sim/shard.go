@@ -149,7 +149,7 @@ func (eng *shardEngine) run(instrBudget uint64, toCompletion bool) error {
 	for {
 		var active []*shardCore
 		for i, sc := range eng.cores {
-			if !sc.c.liveTasks() {
+			if !sc.c.runnableTasks() {
 				continue
 			}
 			if !toCompletion && sc.c.Instrs-start[i] >= instrBudget {
@@ -227,13 +227,13 @@ func (eng *shardEngine) beginQuantum(sc *shardCore) {
 		return
 	}
 	for i := 0; i < n; i++ {
-		if !c.tasks[c.cur].Done {
+		if c.tasks[c.cur].runnable() {
 			break
 		}
 		c.cur = (c.cur + 1) % n
 	}
 	t := c.tasks[c.cur]
-	if t.Done {
+	if !t.runnable() {
 		return
 	}
 	sc.t = t
@@ -267,6 +267,9 @@ func (sc *shardCore) segment(m *Machine) {
 			if sp = sc.take(t); sp == nil {
 				if sc.req == reqRefill {
 					return // park: barrier runs the mutating refill
+				}
+				if t.starved() {
+					break // parked, not finished: admitted work ran dry
 				}
 				t.Done = true
 				t.FinishCycles = c.Cycles
@@ -356,10 +359,18 @@ func (eng *shardEngine) service(sc *shardCore) error {
 			t.blen = t.bgen.NextBatch(t.batch)
 			t.bpos = 0
 			if t.blen == 0 {
-				sc.streamEnd = true
+				if t.starved() {
+					// Admission gate ran dry: end the quantum without
+					// finishing the task (mirrors the classic starved break).
+					sc.done = true
+				} else {
+					sc.streamEnd = true
+				}
 			}
 		} else if t.Gen.Next(&sc.scratch) {
 			sc.refillStep = &sc.scratch
+		} else if t.starved() {
+			sc.done = true
 		} else {
 			sc.streamEnd = true
 		}

@@ -1,0 +1,123 @@
+package workloads
+
+import "babelfish/internal/sim"
+
+// gateBufSteps sizes the gate's internal carry buffer, matching the
+// scheduler's own batch granularity.
+const gateBufSteps = 256
+
+// RequestGate wraps a workload generator with an open-loop admission
+// valve: it forwards the inner stream unchanged but stops at a request
+// boundary once the cumulative emitted-request count reaches the
+// admitted target. The fleet raises the target as the load generator
+// admits arrivals, so a container executes exactly the requests offered
+// to it — no more — and a starved gate parks its task (sim.Starver)
+// instead of finishing it.
+//
+// The gate preserves the scheduler's generator contracts: it is a
+// BatchGenerator, it reports the inner generator's KernelMutator
+// marker, and when the inner generator mutates kernel state the gate
+// refills from it at most once per NextBatch call (steps the inner call
+// produced beyond the target stay buffered here and are emitted, in
+// order, once the target rises).
+type RequestGate struct {
+	inner   sim.Generator
+	bg      sim.BatchGenerator
+	mutates bool
+
+	buf    []sim.Step
+	pos, n int
+
+	target    uint64 // requests admitted so far (cumulative)
+	emitted   uint64 // requests fully emitted so far (cumulative)
+	innerDone bool
+}
+
+// NewRequestGate wraps inner. The gate starts fully starved (target 0).
+func NewRequestGate(inner sim.Generator) *RequestGate {
+	g := &RequestGate{inner: inner, buf: make([]sim.Step, gateBufSteps)}
+	g.bg, _ = inner.(sim.BatchGenerator)
+	if km, ok := inner.(sim.KernelMutator); ok {
+		g.mutates = km.MutatesKernel()
+	}
+	return g
+}
+
+// SetTarget raises the cumulative admitted-request target. Lowering is
+// ignored: admissions are never revoked.
+func (g *RequestGate) SetTarget(n uint64) {
+	if n > g.target {
+		g.target = n
+	}
+}
+
+// Target returns the cumulative admitted-request target.
+func (g *RequestGate) Target() uint64 { return g.target }
+
+// Emitted returns how many whole requests the gate has emitted.
+func (g *RequestGate) Emitted() uint64 { return g.emitted }
+
+// Starved reports that the gate is parked: the admitted target is met
+// and the inner stream has not ended. (sim.Starver)
+func (g *RequestGate) Starved() bool {
+	return !g.innerDone && g.emitted >= g.target
+}
+
+// MutatesKernel forwards the inner generator's marker. (sim.KernelMutator)
+func (g *RequestGate) MutatesKernel() bool { return g.mutates }
+
+// NextBatch fills out with admitted steps. Zero means either starved
+// (Starved() true — the scheduler parks the task) or inner stream
+// complete (the task finishes). (sim.BatchGenerator)
+func (g *RequestGate) NextBatch(out []sim.Step) int {
+	if g.innerDone {
+		return 0
+	}
+	filled := 0
+	refilled := false
+	for filled < len(out) && g.emitted < g.target {
+		if g.pos == g.n {
+			// Identity contract: a kernel-mutating inner generator builds
+			// at most once per scheduler call into the gate.
+			if g.mutates && refilled {
+				break
+			}
+			g.refill()
+			refilled = true
+			if g.pos == g.n {
+				break // inner stream complete
+			}
+		}
+		s := g.buf[g.pos]
+		g.pos++
+		out[filled] = s
+		filled++
+		if s.Req == sim.ReqEnd {
+			g.emitted++
+		}
+	}
+	return filled
+}
+
+// Next emits one admitted step. (sim.Generator)
+func (g *RequestGate) Next(s *sim.Step) bool {
+	var one [1]sim.Step
+	if g.NextBatch(one[:]) == 0 {
+		return false
+	}
+	*s = one[0]
+	return true
+}
+
+// refill pulls the next slice of the inner stream into the carry buffer.
+func (g *RequestGate) refill() {
+	g.pos, g.n = 0, 0
+	if g.bg != nil {
+		g.n = g.bg.NextBatch(g.buf)
+	} else if g.inner.Next(&g.buf[0]) {
+		g.n = 1
+	}
+	if g.n == 0 {
+		g.innerDone = true
+	}
+}

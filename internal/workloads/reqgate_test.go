@@ -1,0 +1,176 @@
+package workloads
+
+import (
+	"testing"
+
+	"babelfish/internal/sim"
+)
+
+// fakeReqGen emits fixed-size requests (3 steps each: start, middle,
+// end) until its request budget runs out, counting NextBatch calls so
+// the mutator identity contract is checkable.
+type fakeReqGen struct {
+	reqs     int // remaining requests; negative = infinite
+	perCall  int // max steps produced per NextBatch call (0 = fill buf)
+	calls    int
+	stepNo   int // 0..2 within the current request
+	mutates  bool
+	produced int
+}
+
+func (f *fakeReqGen) MutatesKernel() bool { return f.mutates }
+
+func (f *fakeReqGen) next(s *sim.Step) bool {
+	if f.reqs == 0 {
+		return false
+	}
+	*s = sim.Step{VA: 0x1000, Think: 1, Req: sim.ReqNone}
+	switch f.stepNo {
+	case 0:
+		s.Req = sim.ReqStart
+	case 2:
+		s.Req = sim.ReqEnd
+	}
+	f.stepNo++
+	if f.stepNo == 3 {
+		f.stepNo = 0
+		if f.reqs > 0 {
+			f.reqs--
+		}
+	}
+	f.produced++
+	return true
+}
+
+func (f *fakeReqGen) Next(s *sim.Step) bool { return f.next(s) }
+
+func (f *fakeReqGen) NextBatch(buf []sim.Step) int {
+	f.calls++
+	limit := len(buf)
+	if f.perCall > 0 && f.perCall < limit {
+		limit = f.perCall
+	}
+	n := 0
+	for n < limit && f.next(&buf[n]) {
+		n++
+	}
+	return n
+}
+
+func drain(g *RequestGate, buf []sim.Step) int {
+	total := 0
+	for {
+		n := g.NextBatch(buf)
+		if n == 0 {
+			return total
+		}
+		total += n
+	}
+}
+
+func TestGateStartsStarved(t *testing.T) {
+	g := NewRequestGate(&fakeReqGen{reqs: -1})
+	buf := make([]sim.Step, 8)
+	if n := g.NextBatch(buf); n != 0 {
+		t.Fatalf("ungated emission: got %d steps, want 0", n)
+	}
+	if !g.Starved() {
+		t.Fatal("fresh gate must report starved")
+	}
+}
+
+func TestGateEmitsExactlyAdmittedRequests(t *testing.T) {
+	g := NewRequestGate(&fakeReqGen{reqs: -1})
+	buf := make([]sim.Step, 7) // deliberately not a multiple of 3
+	g.SetTarget(5)
+	if got := drain(g, buf); got != 15 {
+		t.Fatalf("admitted 5 requests: got %d steps, want 15", got)
+	}
+	if g.Emitted() != 5 {
+		t.Fatalf("Emitted: got %d, want 5", g.Emitted())
+	}
+	if !g.Starved() {
+		t.Fatal("gate must starve at the target")
+	}
+	// Raising the target resumes, including steps the inner generator
+	// already produced into the gate's carry buffer.
+	g.SetTarget(7)
+	if got := drain(g, buf); got != 6 {
+		t.Fatalf("raised target by 2 requests: got %d steps, want 6", got)
+	}
+	// Lowering is ignored.
+	g.SetTarget(1)
+	if g.Target() != 7 {
+		t.Fatalf("target lowered: got %d, want 7", g.Target())
+	}
+}
+
+func TestGateRequestBoundaries(t *testing.T) {
+	g := NewRequestGate(&fakeReqGen{reqs: -1})
+	g.SetTarget(3)
+	buf := make([]sim.Step, 64)
+	var steps []sim.Step
+	for {
+		n := g.NextBatch(buf)
+		if n == 0 {
+			break
+		}
+		steps = append(steps, buf[:n]...)
+	}
+	if len(steps) != 9 {
+		t.Fatalf("got %d steps, want 9", len(steps))
+	}
+	for i, s := range steps {
+		want := sim.ReqNone
+		switch i % 3 {
+		case 0:
+			want = sim.ReqStart
+		case 2:
+			want = sim.ReqEnd
+		}
+		if s.Req != want {
+			t.Fatalf("step %d: req mark %v, want %v", i, s.Req, want)
+		}
+	}
+}
+
+func TestGateInnerCompletion(t *testing.T) {
+	g := NewRequestGate(&fakeReqGen{reqs: 2})
+	g.SetTarget(10)
+	buf := make([]sim.Step, 16)
+	if got := drain(g, buf); got != 6 {
+		t.Fatalf("finite inner: got %d steps, want 6", got)
+	}
+	if g.Starved() {
+		t.Fatal("a completed inner stream is done, not starved")
+	}
+	if n := g.NextBatch(buf); n != 0 {
+		t.Fatalf("emission after completion: %d", n)
+	}
+}
+
+// A kernel-mutating inner generator must be refilled at most once per
+// scheduler call into the gate, even when its batches are short.
+func TestGateMutatorRefillsOncePerCall(t *testing.T) {
+	f := &fakeReqGen{reqs: -1, perCall: 4, mutates: true}
+	g := NewRequestGate(f)
+	if !g.MutatesKernel() {
+		t.Fatal("gate must forward the KernelMutator marker")
+	}
+	g.SetTarget(100)
+	buf := make([]sim.Step, 64)
+	for i := 0; i < 5; i++ {
+		before := f.calls
+		g.NextBatch(buf)
+		if f.calls > before+1 {
+			t.Fatalf("call %d: inner refilled %d times in one gate call", i, f.calls-before)
+		}
+	}
+	// A pure inner generator may refill as often as needed to fill buf.
+	fp := &fakeReqGen{reqs: -1, perCall: 4}
+	gp := NewRequestGate(fp)
+	gp.SetTarget(100)
+	if n := gp.NextBatch(buf[:24]); n != 24 {
+		t.Fatalf("pure inner: got %d steps, want 24", n)
+	}
+}
